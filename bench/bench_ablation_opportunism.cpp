@@ -1,0 +1,59 @@
+// Ablation: which parts of TeleAdjusting's forwarding strategy buy what?
+// (DESIGN.md design-choice bench; not a paper figure, but the paper's Tele
+// vs Re-Tele pair is one point of this sweep.)
+//
+// Variants, all on the WiFi-interfered channel where the mechanisms matter:
+//   structured     conditions (2)+(3) off, backtracking off: pure
+//                  expected-relay forwarding along the encoded path
+//   +opportunism   condition (2) on (on-path overhearers claim)
+//   +neighbors     condition (3) on too (off-path assist, Fig. 4c/4d)
+//   +backtrack     backtracking feedback on (full Tele)
+//   +re-tele       destination-unreachable countermeasure on (full system)
+
+#include "bench_common.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  std::printf("== Ablation: opportunistic-forwarding mechanisms (ch19) ==\n");
+
+  struct Variant {
+    const char* name;
+    ControlProtocol protocol;
+    bool opportunistic;
+    bool neighbor_assist;
+    bool backtracking;
+  };
+  const Variant variants[] = {
+      {"structured", ControlProtocol::kTele, false, false, false},
+      {"+opportunism", ControlProtocol::kTele, true, false, false},
+      {"+neighbors", ControlProtocol::kTele, true, true, false},
+      {"+backtrack (Tele)", ControlProtocol::kTele, true, true, true},
+      {"+re-tele (full)", ControlProtocol::kReTele, true, true, true},
+  };
+
+  TextTable table({"variant", "PDR", "tx/pkt", "avg delay (s)", "duty"});
+  for (const Variant& v : variants) {
+    const auto r = run_testbed_with(
+        v.protocol, /*wifi=*/true, opt, [&v](ControlExperimentConfig& cfg) {
+          cfg.network.tele.forwarding.opportunistic = v.opportunistic;
+          cfg.network.tele.forwarding.neighbor_assist = v.neighbor_assist;
+          cfg.network.tele.forwarding.backtracking = v.backtracking;
+        });
+    SummaryStats delay;
+    for (const auto& [hop, stats] : r.latency_by_hop.groups()) {
+      (void)hop;
+      delay.merge(stats);
+    }
+    table.row({v.name, TextTable::fmt_pct(r.pdr(), 1),
+               TextTable::fmt(r.tx_per_control, 2),
+               TextTable::fmt(delay.mean(), 2),
+               TextTable::fmt_pct(r.duty_cycle, 2)});
+  }
+  emit_table(table, "ablation_opportunism");
+  std::printf("expected: PDR and delay improve monotonically down the "
+              "table; tx/pkt drops with opportunism\n");
+  return 0;
+}

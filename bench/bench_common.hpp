@@ -1,0 +1,117 @@
+#pragma once
+
+// Shared scaffolding for the experiment-reproduction benchmarks: command-line
+// options, the testbed experiment suite (paper Sec. IV-B) and the 225-node
+// code-study networks (paper Sec. IV-A).
+//
+// Every bench binary accepts:
+//   --full        paper-scale durations (3 h measurement, 5 runs)
+//   --runs N      override the number of runs
+//   --minutes M   override the measurement duration
+//   --seed S      base seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/network.hpp"
+#include "stats/table.hpp"
+#include "topo/topology.hpp"
+
+namespace telea::bench {
+
+struct Options {
+  unsigned runs = 2;
+  SimTime duration = 40 * kMinute;
+  SimTime warmup = 20 * kMinute;
+  std::uint64_t seed = 1;
+  bool full = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      opt.full = true;
+      opt.runs = 5;
+      opt.duration = 3 * kHour;
+      opt.warmup = 30 * kMinute;
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      opt.runs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+      opt.duration =
+          static_cast<SimTime>(std::strtoul(argv[++i], nullptr, 10)) * kMinute;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("options: --full | --runs N | --minutes M | --seed S\n");
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+/// One (protocol, channel) cell of the paper's testbed evaluation, averaged
+/// over `opt.runs` runs on the 40-node indoor topology. `tweak` (optional)
+/// edits each run's config before it executes — the ablation hook.
+inline ControlExperimentResult run_testbed_with(
+    ControlProtocol protocol, bool wifi, const Options& opt,
+    const std::function<void(ControlExperimentConfig&)>& tweak) {
+  std::vector<ControlExperimentResult> runs;
+  for (unsigned r = 0; r < opt.runs; ++r) {
+    ControlExperimentConfig cfg;
+    cfg.network.topology = make_indoor_testbed(opt.seed + r);
+    cfg.network.seed = opt.seed + r;
+    cfg.network.protocol = protocol;
+    cfg.network.wifi_interference = wifi;
+    cfg.warmup = opt.warmup;
+    cfg.duration = opt.duration;
+    if (tweak) tweak(cfg);
+    runs.push_back(run_control_experiment(cfg));
+  }
+  return merge_results(runs);
+}
+
+inline ControlExperimentResult run_testbed(ControlProtocol protocol, bool wifi,
+                                           const Options& opt) {
+  return run_testbed_with(protocol, wifi, opt, nullptr);
+}
+
+inline const char* channel_name(bool wifi) {
+  // Paper: ZigBee channel 26 is clean, channel 19 overlaps WiFi.
+  return wifi ? "ch19 (WiFi)" : "ch26 (clean)";
+}
+
+/// Prints the table; when TELEA_CSV_DIR is set, also writes
+/// $TELEA_CSV_DIR/<name>.csv — plot-ready artifacts next to the console
+/// rendering.
+inline void emit_table(const TextTable& table, const std::string& name) {
+  table.print();
+  if (const char* dir = std::getenv("TELEA_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    if (!table.write_csv(path)) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+}
+
+/// Builds and converges one of the paper's 225-node simulation fields
+/// (Sec. IV-A) far enough that path codes are in place.
+inline std::unique_ptr<Network> converge_code_study(const Topology& topo,
+                                                    std::uint64_t seed,
+                                                    SimTime duration) {
+  NetworkConfig cfg;
+  cfg.topology = topo;
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kReTele;
+  auto net = std::make_unique<Network>(cfg);
+  net->start();
+  net->run_for(duration);
+  return net;
+}
+
+}  // namespace telea::bench

@@ -1,0 +1,107 @@
+// Extension bench (not a paper figure): one-to-many remote control.
+// The paper claims TeleAdjusting "can be easily extended to application
+// scenarios of one-to-all or one-to-many packet dissemination" (Sec. I).
+// This bench quantifies the claim on the indoor testbed: cost of commanding
+// k nodes via (a) k independent control packets, (b) one group packet with
+// branch splitting, (c) a Drip flood.
+
+#include <set>
+
+#include "bench_common.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+namespace {
+
+std::uint64_t total_ops(Network& net) {
+  std::uint64_t ops = 0;
+  for (NodeId i = 0; i < net.size(); ++i) ops += net.node(i).mac().send_ops();
+  return ops;
+}
+
+std::unique_ptr<Network> fresh_net(ControlProtocol proto, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_indoor_testbed(seed);
+  cfg.seed = seed;
+  cfg.protocol = proto;
+  auto net = std::make_unique<Network>(cfg);
+  net->start();
+  net->run_for(20 * kMinute);
+  net->reset_accounting();
+  return net;
+}
+
+std::vector<NodeId> pick_targets(Network& net, std::size_t k,
+                                 std::uint64_t seed) {
+  Pcg32 rng(seed, 31);
+  std::set<NodeId> out;
+  while (out.size() < k) {
+    const auto id = static_cast<NodeId>(
+        1 + rng.uniform(static_cast<std::uint32_t>(net.size() - 1)));
+    if (net.node(id).tele() == nullptr ||
+        net.node(id).tele()->addressing().has_code()) {
+      out.insert(id);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  std::printf("== Extension: one-to-many control cost (40-node indoor) ==\n");
+
+  TextTable table({"targets k", "unicast xk (tx)", "group (tx)",
+                   "drip flood (tx)", "group delivered"});
+  for (std::size_t k : {2u, 4u, 8u, 16u}) {
+    // (a) k unicasts.
+    auto uni = fresh_net(ControlProtocol::kReTele, opt.seed);
+    const auto targets = pick_targets(*uni, k, opt.seed + k);
+    const auto base_u = total_ops(*uni);
+    for (NodeId t : targets) {
+      uni->sink().tele()->send_control(
+          t, uni->node(t).tele()->addressing().code(), 1);
+      uni->run_for(20 * kSecond);
+    }
+    uni->run_for(kMinute);
+    const auto cost_u = total_ops(*uni) - base_u;
+
+    // (b) one group packet.
+    auto grp = fresh_net(ControlProtocol::kReTele, opt.seed);
+    unsigned delivered = 0;
+    for (NodeId t : targets) {
+      grp->node(t).tele()->group_control().on_delivered =
+          [&delivered](std::uint16_t, std::uint32_t) { ++delivered; };
+      grp->node(t).tele()->on_control_delivered =
+          [&delivered](const msg::ControlPacket&, bool) { ++delivered; };
+    }
+    std::vector<msg::GroupDest> dests;
+    for (NodeId t : targets) {
+      dests.push_back(
+          msg::GroupDest{t, grp->node(t).tele()->addressing().code()});
+    }
+    const auto base_g = total_ops(*grp);
+    grp->sink().tele()->send_control_group(dests, 1);
+    grp->run_for(3 * kMinute);
+    const auto cost_g = total_ops(*grp) - base_g;
+
+    // (c) one Drip flood reaches everyone (k deliveries for free).
+    auto drip = fresh_net(ControlProtocol::kDrip, opt.seed);
+    const auto base_d = total_ops(*drip);
+    drip->sink().drip()->disseminate(targets.front(), 1);
+    drip->run_for(2 * kMinute);
+    const auto cost_d = total_ops(*drip) - base_d;
+
+    table.row({std::to_string(k), std::to_string(cost_u),
+               std::to_string(cost_g), std::to_string(cost_d),
+               std::to_string(delivered) + "/" + std::to_string(k)});
+  }
+  emit_table(table, "ext_group");
+  std::printf(
+      "expected: the group's shared-segment savings grow with k — for small\n"
+      "k the per-branch claim overhead can exceed plain unicasts, but by\n"
+      "k~8 the group wins and stays below the flood's fixed cost\n");
+  return 0;
+}

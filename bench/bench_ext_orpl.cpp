@@ -1,0 +1,71 @@
+// Extension bench: TeleAdjusting vs ORPL-lite — the related-work comparison
+// the paper argues but does not measure (Sec. V: ORPL's "inherent false
+// positive of bloom filter can incur multiple rounds of ineffectual
+// transmissions, especially in the large-scale networks").
+//
+// Head-to-head on the 40-node indoor testbed (PDR / tx / latency), plus the
+// Bloom-load mechanism on the 225-node Tight-grid: at 225 members a 64-bit
+// filter saturates, so most membership queries answer "yes" regardless.
+
+#include "bench_common.hpp"
+#include "util/bloom.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+namespace {
+
+double mean_latency(const ControlExperimentResult& r) {
+  SummaryStats all;
+  for (const auto& [hop, stats] : r.latency_by_hop.groups()) {
+    (void)hop;
+    all.merge(stats);
+  }
+  return all.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  std::printf("== Extension: TeleAdjusting vs ORPL-lite ==\n");
+
+  TextTable table({"protocol", "channel", "PDR", "tx/pkt", "avg delay (s)",
+                   "duty"});
+  for (ControlProtocol p : {ControlProtocol::kReTele, ControlProtocol::kOrpl}) {
+    for (bool wifi : {false, true}) {
+      const auto r = run_testbed(p, wifi, opt);
+      table.row({protocol_name(p), channel_name(wifi),
+                 TextTable::fmt_pct(r.pdr(), 1),
+                 TextTable::fmt(r.tx_per_control, 2),
+                 TextTable::fmt(mean_latency(r), 2),
+                 TextTable::fmt_pct(r.duty_cycle, 2)});
+    }
+  }
+  emit_table(table, "ext_orpl");
+
+  // The scaling mechanism: Bloom false-positive rate vs member count.
+  std::printf("\n64-bit/2-hash Bloom false-positive rate vs members "
+              "(the paper's large-scale critique):\n");
+  TextTable fp({"members", "false-positive rate"});
+  for (unsigned members : {10u, 40u, 100u, 225u}) {
+    OrplBloom filter;
+    for (NodeId id = 0; id < members; ++id) filter.insert(id);
+    unsigned hits = 0;
+    const unsigned probes = 5000;
+    for (unsigned i = 0; i < probes; ++i) {
+      if (filter.contains(static_cast<NodeId>(10000 + i))) ++hits;
+    }
+    fp.row({std::to_string(members),
+            TextTable::fmt_pct(static_cast<double>(hits) / probes, 1)});
+  }
+  emit_table(fp, "ext_orpl_bloom");
+  std::printf(
+      "reading: the 64-bit/2-hash filter is already >50%% false-positive at\n"
+      "40 members and saturates by ~100-225, where ORPL's addressing\n"
+      "dissolves while path codes stay exact. ORPL-lite implements no\n"
+      "false-positive recovery, so its PDR penalty is an upper bound on the\n"
+      "effect the paper describes; real ORPL trades bigger filters and\n"
+      "recovery rounds (the 'ineffectual transmissions') against it.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 10: average end-to-end delay of a control packet from the
+// sink to individual nodes versus hop count, per protocol and channel
+// (paper Sec. IV-B4).
+//
+// Paper shape: Drip fastest (every node forwards, the quickest chain wins);
+// RPL slowest (each hop waits for one specific node's wake-up, delay is
+// proportional to wake interval x hops); TeleAdjusting sits in between,
+// much closer to Drip, because any earlier-waking eligible relay advances
+// the packet.
+
+#include <set>
+
+#include "bench_common.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  std::printf("== Fig. 10: end-to-end delay vs hop count (%u run(s)) ==\n",
+              opt.runs);
+
+  const ControlProtocol protocols[] = {
+      ControlProtocol::kDrip, ControlProtocol::kRpl, ControlProtocol::kTele,
+      ControlProtocol::kReTele};
+
+  for (bool wifi : {false, true}) {
+    std::printf("\n--- %s ---\n", channel_name(wifi));
+    std::vector<ControlExperimentResult> results;
+    std::set<int> hops;
+    for (ControlProtocol p : protocols) {
+      results.push_back(run_testbed(p, wifi, opt));
+      for (const auto& [h, s] : results.back().latency_by_hop.groups()) {
+        (void)s;
+        hops.insert(h);
+      }
+    }
+    TextTable table({"hop count", "Drip (s)", "RPL (s)", "Tele (s)",
+                     "Re-Tele (s)"});
+    for (int h : hops) {
+      if (h <= 0) continue;
+      std::vector<std::string> row{std::to_string(h)};
+      for (const auto& r : results) {
+        const auto it = r.latency_by_hop.groups().find(h);
+        row.push_back(it == r.latency_by_hop.groups().end()
+                          ? "-"
+                          : TextTable::fmt(it->second.mean(), 2));
+      }
+      table.row(std::move(row));
+    }
+    emit_table(table, std::string("fig10_latency_") + (wifi ? "ch19" : "ch26"));
+  }
+  std::printf("\npaper: Drip < Tele << RPL at every hop count\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Fig. 6(a): path-code length vs hop count on the 225-node
+// Tight-grid and Sparse-linear fields (paper Sec. IV-A2).
+//
+// Paper shape to reproduce: code length grows roughly linearly with hop
+// count; ~40 bits suffice for the Tight-grid; the Sparse-linear field needs
+// longer codes at equal hop count (bit space wasted per hop on potential
+// hidden children in a sparser tree).
+
+#include "bench_common.hpp"
+#include "stats/summary.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+namespace {
+
+void report(const char* name, Network& net) {
+  GroupedStats len_by_hop;
+  std::size_t max_len = 0;
+  std::size_t coded = 0;
+  for (NodeId i = 1; i < net.size(); ++i) {
+    const auto* tele = net.node(i).tele();
+    if (tele == nullptr || !tele->addressing().has_code()) continue;
+    const int hops = net.node(i).ctp().hops();
+    if (hops <= 0 || hops >= 0xFF) continue;
+    ++coded;
+    const std::size_t len = tele->addressing().code().size();
+    len_by_hop.add(hops, static_cast<double>(len));
+    max_len = std::max(max_len, len);
+  }
+  std::printf("\n%s: %zu/%zu nodes coded, max code length %zu bits\n", name,
+              coded, net.size() - 1, max_len);
+  TextTable table({"hop count", "nodes", "avg code len (bits)", "min", "max"});
+  for (const auto& [hop, stats] : len_by_hop.groups()) {
+    table.row({std::to_string(hop), std::to_string(stats.count()),
+               TextTable::fmt(stats.mean(), 2), TextTable::fmt(stats.min(), 0),
+               TextTable::fmt(stats.max(), 0)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const SimTime converge = opt.full ? 30 * kMinute : 15 * kMinute;
+
+  std::printf("== Fig. 6(a): path code length vs hop count ==\n");
+  std::printf("paper: near-linear growth; Tight-grid fits in ~40 bits;\n");
+  std::printf("       Sparse-linear needs more bits at equal hop count\n");
+
+  auto tight = converge_code_study(make_tight_grid(opt.seed), opt.seed, converge);
+  report("Tight-grid (15x15, 200mx200m, high gain)", *tight);
+
+  auto sparse =
+      converge_code_study(make_sparse_linear(opt.seed), opt.seed, converge);
+  report("Sparse-linear (5x45, 60mx600m, low gain)", *sparse);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Fig. 6(b): distribution of the number of child nodes per hop on
+// the 225-node fields (paper Sec. IV-A2).
+//
+// Paper shape: in the tight network some nodes solicit many children
+// (enlarging the per-hop bit space but shrinking total depth); the sparse
+// network spreads children thinly across many hops.
+
+#include "bench_common.hpp"
+#include "stats/summary.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+namespace {
+
+void report(const char* name, Network& net) {
+  GroupedStats children_by_hop;
+  SummaryStats overall;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    const auto* tele = net.node(i).tele();
+    if (tele == nullptr) continue;
+    const int hops = net.node(i).ctp().hops();
+    if (hops < 0 || hops >= 0xFF) continue;
+    const auto n = static_cast<double>(tele->addressing().children().size());
+    children_by_hop.add(hops, n);
+    if (n > 0) overall.add(n);
+  }
+  std::printf("\n%s\n", name);
+  TextTable table({"hop count", "nodes", "avg #children", "max #children"});
+  for (const auto& [hop, stats] : children_by_hop.groups()) {
+    table.row({std::to_string(hop), std::to_string(stats.count()),
+               TextTable::fmt(stats.mean(), 2),
+               TextTable::fmt(stats.max(), 0)});
+  }
+  table.print();
+  std::printf("parents only: mean %.2f children, max %.0f\n", overall.mean(),
+              overall.max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const SimTime converge = opt.full ? 30 * kMinute : 15 * kMinute;
+
+  std::printf("== Fig. 6(b): number of children per hop ==\n");
+  auto tight = converge_code_study(make_tight_grid(opt.seed), opt.seed, converge);
+  report("Tight-grid", *tight);
+  auto sparse =
+      converge_code_study(make_sparse_linear(opt.seed), opt.seed, converge);
+  report("Sparse-linear", *sparse);
+  return 0;
+}

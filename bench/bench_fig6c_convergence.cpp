@@ -1,0 +1,92 @@
+// Reproduces Fig. 6(c): convergence rate of path-code construction — the CDF
+// of the time between a node's routing-found event and its first path code,
+// measured in routing-beacon rounds of 512 ms (paper Sec. IV-A3).
+//
+// Paper shape: no node exceeds ~20 beacon-times; most converge in <10.
+// (The 10-round stability window of Algorithm 1 dominates the constant.)
+
+#include "bench_common.hpp"
+#include "stats/summary.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+namespace {
+
+void report(const char* name, Network& net, SimTime wake_interval) {
+  Cdf beacons;
+  std::size_t converged = 0, total = 0;
+  for (NodeId i = 1; i < net.size(); ++i) {
+    const auto* tele = net.node(i).tele();
+    if (tele == nullptr) continue;
+    ++total;
+    const auto& a = tele->addressing();
+    if (!a.triggered_at().has_value() || !a.code_assigned_at().has_value()) {
+      continue;
+    }
+    ++converged;
+    const double rounds =
+        static_cast<double>(*a.code_assigned_at() - *a.triggered_at()) /
+        static_cast<double>(wake_interval);
+    beacons.add(rounds);
+  }
+  // Per-level cascade latency: how long after its *allocator* obtained a
+  // code this node's own code arrived. This isolates the protocol's own
+  // per-hop cost from network-wide tree formation (see EXPERIMENTS.md on
+  // the measuring-point difference vs the paper).
+  Cdf per_level;
+  for (NodeId i = 1; i < net.size(); ++i) {
+    const auto* tele = net.node(i).tele();
+    if (tele == nullptr) continue;
+    const auto& a = tele->addressing();
+    const NodeId p = a.code_parent();
+    if (!a.code_assigned_at().has_value() || p == kInvalidNode) continue;
+    const auto* ptele = net.node(p).tele();
+    if (ptele == nullptr ||
+        !ptele->addressing().code_assigned_at().has_value()) {
+      continue;
+    }
+    const SimTime parent_at = *ptele->addressing().code_assigned_at();
+    const SimTime mine_at = *a.code_assigned_at();
+    if (mine_at >= parent_at) {
+      per_level.add(static_cast<double>(mine_at - parent_at) /
+                    static_cast<double>(wake_interval));
+    }
+  }
+
+  std::printf("\n%s: %zu/%zu nodes converged\n", name, converged, total);
+  TextTable table({"percentile", "since own routing-found (rounds)",
+                   "since allocator's code (rounds)"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    table.row({TextTable::fmt_pct(q, 0),
+               TextTable::fmt(beacons.quantile(q), 1),
+               TextTable::fmt(per_level.quantile(q), 1)});
+  }
+  table.print();
+  std::printf("fraction within 10 beacons: %s, within 20: %s "
+              "(per-level: %s / %s)\n",
+              TextTable::fmt_pct(beacons.at(10.0), 1).c_str(),
+              TextTable::fmt_pct(beacons.at(20.0), 1).c_str(),
+              TextTable::fmt_pct(per_level.at(10.0), 1).c_str(),
+              TextTable::fmt_pct(per_level.at(20.0), 1).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const SimTime converge = opt.full ? 30 * kMinute : 15 * kMinute;
+
+  std::printf("== Fig. 6(c): path-code convergence rate ==\n");
+  std::printf("paper: all nodes < ~20 beacon rounds, most < 10\n");
+
+  NetworkConfig probe_cfg;  // for the wake interval default
+  const SimTime wake = probe_cfg.lpl.wake_interval;
+
+  auto tight = converge_code_study(make_tight_grid(opt.seed), opt.seed, converge);
+  report("Tight-grid", *tight, wake);
+  auto sparse =
+      converge_code_study(make_sparse_linear(opt.seed), opt.seed, converge);
+  report("Sparse-linear", *sparse, wake);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the simulator substrate: event
+// queue throughput, CPM noise sampling and the CC2420 PRR curve. These bound
+// how much virtual time per wall-second the full-system experiments get.
+
+#include <benchmark/benchmark.h>
+
+#include "radio/noise.hpp"
+#include "radio/phy.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+namespace {
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    Pcg32 rng(7, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(rng.next(), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // The LPL MAC cancels constantly; measure the tombstone path.
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(1000);
+    for (std::size_t i = 0; i < 1000; ++i) {
+      handles.push_back(q.schedule(i, [] {}));
+    }
+    for (std::size_t i = 0; i < 1000; i += 2) q.cancel(handles[i]);
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_in(10, tick);
+    };
+    sim.schedule_in(10, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_CpmNoiseSample(benchmark::State& state) {
+  const auto trace = generate_heavy_noise_trace({}, 11);
+  const CpmNoiseModel model(trace, 3);
+  auto gen = model.make_generator(1, 1);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 2 * kMillisecond;
+    benchmark::DoNotOptimize(gen.noise_dbm(t));
+  }
+}
+BENCHMARK(BM_CpmNoiseSample);
+
+void BM_CpmTraining(benchmark::State& state) {
+  const auto trace = generate_heavy_noise_trace({}, 12);
+  for (auto _ : state) {
+    CpmNoiseModel model(trace, 3);
+    benchmark::DoNotOptimize(model.marginal_mean_dbm());
+  }
+}
+BENCHMARK(BM_CpmTraining);
+
+void BM_PrrCurve(benchmark::State& state) {
+  double sinr = -5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Cc2420Phy::packet_reception_ratio(sinr, -80.0, 50));
+    sinr += 0.1;
+    if (sinr > 10) sinr = -5.0;
+  }
+}
+BENCHMARK(BM_PrrCurve);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_heavy_noise_trace({}, ++seed));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+}  // namespace telea
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// One-to-many dissemination: the paper notes TeleAdjusting "can be easily
+// extended to application scenarios of one-to-all or one-to-many packet
+// dissemination" (Sec. I). This example pushes the same command to a *set*
+// of destinations and contrasts the cost with Drip's network-wide flood
+// doing the same job.
+//
+//   $ ./dissemination [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+using namespace telea;
+using namespace telea::time_literals;
+
+namespace {
+
+struct Cost {
+  unsigned delivered = 0;
+  std::uint64_t tx_ops = 0;
+  double duty = 0;
+};
+
+std::uint64_t total_ops(Network& net) {
+  std::uint64_t ops = 0;
+  for (NodeId i = 0; i < net.size(); ++i) ops += net.node(i).mac().send_ops();
+  return ops;
+}
+
+Cost run_tele(std::uint64_t seed, const std::set<NodeId>& targets) {
+  NetworkConfig config;
+  config.topology = make_connected_random(25, 90.0, seed);
+  config.seed = seed;
+  config.protocol = ControlProtocol::kReTele;
+  Network net(config);
+  net.start();
+  net.run_for(10_min);
+  net.reset_accounting();
+  const std::uint64_t base_ops = total_ops(net);
+
+  Cost cost;
+  for (NodeId t : targets) {
+    net.node(t).tele()->on_control_delivered =
+        [&cost](const msg::ControlPacket&, bool) { ++cost.delivered; };
+  }
+  for (NodeId t : targets) {
+    const auto& addressing = net.node(t).tele()->addressing();
+    if (!addressing.has_code()) continue;
+    net.sink().tele()->send_control(t, addressing.code(), 0x42);
+    net.run_for(15_s);  // pipeline a little; no need to fully serialize
+  }
+  net.run_for(1_min);
+  cost.tx_ops = total_ops(net) - base_ops;
+  cost.duty = net.average_duty_cycle();
+  return cost;
+}
+
+Cost run_group(std::uint64_t seed, const std::set<NodeId>& targets) {
+  NetworkConfig config;
+  config.topology = make_connected_random(25, 90.0, seed);
+  config.seed = seed;
+  config.protocol = ControlProtocol::kReTele;
+  Network net(config);
+  net.start();
+  net.run_for(10_min);
+  net.reset_accounting();
+  const std::uint64_t base_ops = total_ops(net);
+
+  Cost cost;
+  for (NodeId t : targets) {
+    // Group deliveries can arrive via the shared packet or — for branches
+    // with no group candidate — the per-destination fallback.
+    net.node(t).tele()->group_control().on_delivered =
+        [&cost](std::uint16_t, std::uint32_t) { ++cost.delivered; };
+    net.node(t).tele()->on_control_delivered =
+        [&cost](const msg::ControlPacket&, bool) { ++cost.delivered; };
+  }
+  std::vector<msg::GroupDest> dests;
+  for (NodeId t : targets) {
+    const auto& addressing = net.node(t).tele()->addressing();
+    if (addressing.has_code()) {
+      dests.push_back(msg::GroupDest{t, addressing.code()});
+    }
+  }
+  net.sink().tele()->send_control_group(dests, 0x42);
+  net.run_for(3_min);
+  cost.tx_ops = total_ops(net) - base_ops;
+  cost.duty = net.average_duty_cycle();
+  return cost;
+}
+
+Cost run_drip(std::uint64_t seed, const std::set<NodeId>& targets) {
+  NetworkConfig config;
+  config.topology = make_connected_random(25, 90.0, seed);
+  config.seed = seed;
+  config.protocol = ControlProtocol::kDrip;
+  Network net(config);
+  net.start();
+  net.run_for(10_min);
+  net.reset_accounting();
+  const std::uint64_t base_ops = total_ops(net);
+
+  Cost cost;
+  for (NodeId t : targets) {
+    net.node(t).drip()->on_delivered =
+        [&cost](const msg::DripMsg&) { ++cost.delivered; };
+  }
+  for (NodeId t : targets) {
+    net.sink().drip()->disseminate(t, 0x42);
+    net.run_for(15_s);
+  }
+  net.run_for(1_min);
+  cost.tx_ops = total_ops(net) - base_ops;
+  cost.duty = net.average_duty_cycle();
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+
+  // Retune a quarter of the field: nodes 3,6,9,...,24.
+  std::set<NodeId> targets;
+  for (NodeId t = 3; t < 25; t = static_cast<NodeId>(t + 3)) {
+    targets.insert(t);
+  }
+
+  std::printf("== one-to-many control: TeleAdjusting vs Drip flood ==\n");
+  std::printf("25-node field, %zu targets\n\n", targets.size());
+
+  const Cost tele = run_tele(seed, targets);
+  const Cost group = run_group(seed, targets);
+  const Cost drip = run_drip(seed, targets);
+
+  std::printf("%-18s %-12s %-16s %s\n", "protocol", "delivered",
+              "transmissions", "duty cycle");
+  std::printf("%-18s %u/%zu        %-16llu %.2f%%\n", "Tele (unicast xN)",
+              tele.delivered, targets.size(),
+              static_cast<unsigned long long>(tele.tx_ops), tele.duty * 100);
+  std::printf("%-18s %u/%zu        %-16llu %.2f%%\n", "Tele (group)",
+              group.delivered, targets.size(),
+              static_cast<unsigned long long>(group.tx_ops),
+              group.duty * 100);
+  std::printf("%-18s %u/%zu        %-16llu %.2f%%\n", "Drip flood",
+              drip.delivered, targets.size(),
+              static_cast<unsigned long long>(drip.tx_ops), drip.duty * 100);
+
+  if (tele.tx_ops > 0 && drip.tx_ops > tele.tx_ops) {
+    std::printf("\nTeleAdjusting used %.1fx fewer transmissions than the "
+                "flood; group mode saved a further %.0f%% over per-node "
+                "unicasts\n",
+                static_cast<double>(drip.tx_ops) /
+                    static_cast<double>(tele.tx_ops),
+                100.0 * (1.0 - static_cast<double>(group.tx_ops) /
+                                   static_cast<double>(tele.tx_ops)));
+  }
+  return tele.delivered == targets.size() &&
+                 group.delivered >= targets.size() - 1
+             ? 0
+             : 1;
+}

@@ -1,0 +1,70 @@
+// Interference study: how WiFi coexistence changes remote-control behavior.
+//
+// The paper's channel-19 experiments (Sec. IV-B) motivate TeleAdjusting's
+// opportunistic design: deterministic forwarding degrades under bursty
+// interference while anycast barely notices. This example runs the same
+// 40-node indoor network with the interferer off and on, and reports the
+// knock-on effects end to end: delivery, latency, transmissions, duty cycle.
+//
+//   $ ./interference_study [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+#include "topo/topology.hpp"
+
+using namespace telea;
+using namespace telea::time_literals;
+
+namespace {
+
+ControlExperimentResult run(ControlProtocol proto, bool wifi,
+                            std::uint64_t seed) {
+  ControlExperimentConfig cfg;
+  cfg.network.topology = make_indoor_testbed(seed);
+  cfg.network.seed = seed;
+  cfg.network.protocol = proto;
+  cfg.network.wifi_interference = wifi;
+  cfg.warmup = 15_min;
+  cfg.duration = 25_min;
+  return run_control_experiment(cfg);
+}
+
+double mean_latency(const ControlExperimentResult& r) {
+  SummaryStats all;
+  for (const auto& [hop, stats] : r.latency_by_hop.groups()) {
+    (void)hop;
+    all.merge(stats);
+  }
+  return all.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  std::printf("== WiFi interference study (40-node indoor testbed) ==\n\n");
+  std::printf("%-10s %-12s %-8s %-12s %-10s %s\n", "protocol", "channel",
+              "PDR", "latency (s)", "tx/packet", "duty");
+
+  for (ControlProtocol proto :
+       {ControlProtocol::kReTele, ControlProtocol::kRpl}) {
+    for (bool wifi : {false, true}) {
+      const auto r = run(proto, wifi, seed);
+      std::printf("%-10s %-12s %-8s %-12.2f %-10.2f %.2f%%\n",
+                  protocol_name(proto), wifi ? "19 (WiFi)" : "26 (clean)",
+                  TextTable::fmt_pct(r.pdr(), 1).c_str(), mean_latency(r),
+                  r.tx_per_control, r.duty_cycle * 100);
+    }
+  }
+
+  std::printf(
+      "\nReading: under WiFi, RPL's deterministic next-hops pay in PDR and\n"
+      "retransmissions, while TeleAdjusting's anycast recruits whichever\n"
+      "eligible relay the interference spared (paper Sec. IV-B2).\n");
+  return 0;
+}

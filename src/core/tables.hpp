@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/path_code.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace telea {
+
+/// The child node table of paper Table I: for every known child, its
+/// allocated position, the codes derived from it (current and previous), and
+/// the confirmation flag maintained by Algorithms 1-3.
+class ChildTable {
+ public:
+  struct Entry {
+    NodeId child = kInvalidNode;
+    std::uint32_t position = 0;
+    PathCode new_code;  // parent_code + position in the current space
+    PathCode old_code;  // retained across code changes (Sec. III-B6)
+    bool confirmed = false;
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] const Entry* find(NodeId child) const noexcept;
+  [[nodiscard]] Entry* find(NodeId child) noexcept;
+  [[nodiscard]] bool position_taken(std::uint32_t position) const noexcept;
+
+  /// Lowest free position in [first, 2^space_bits), or nullopt when full.
+  [[nodiscard]] std::optional<std::uint32_t> free_position(
+      std::uint8_t space_bits, std::uint32_t first) const noexcept;
+
+  /// Inserts or overwrites the entry for `child`.
+  Entry& upsert(NodeId child, std::uint32_t position, const PathCode& code);
+
+  void remove(NodeId child);
+  void clear() { entries_.clear(); }
+
+  /// Re-derives every child's new_code after the parent's own code or space
+  /// width changed (space extension / prefix change), pushing the previous
+  /// code into old_code.
+  void rederive_codes(const PathCode& parent_code, std::uint8_t space_bits);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// The neighbor code table of Sec. III-B6: codes of overheard neighbors (new
+/// and old — the old code is retained for a period to keep control reliable
+/// across code churn), plus the temporary unreachable flag the backtracking
+/// mechanism sets (Sec. III-C3) until the neighbor's next routing beacon.
+class NeighborCodeTable {
+ public:
+  struct Entry {
+    NodeId neighbor = kInvalidNode;
+    PathCode new_code;
+    PathCode old_code;
+    SimTime code_changed_at = 0;
+    bool unreachable = false;
+    SimTime unreachable_since = 0;
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] const Entry* find(NodeId neighbor) const noexcept;
+
+  /// Records an observed code; the previous one (if different) moves to
+  /// old_code with the change timestamp.
+  void observe(NodeId neighbor, const PathCode& code, SimTime now);
+
+  /// Backtracking support (Sec. III-C3).
+  void mark_unreachable(NodeId neighbor, SimTime now);
+  /// Clears the unreachable flag — called when a routing beacon is heard
+  /// from the neighbor again.
+  void mark_reachable(NodeId neighbor);
+  [[nodiscard]] bool is_unreachable(NodeId neighbor) const noexcept;
+
+  /// Expires stale unreachable flags (safety valve if beacons are lost).
+  void expire_unreachable(SimTime now, SimTime timeout);
+
+  void remove(NodeId neighbor);
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  Entry& find_or_insert(NodeId neighbor);
+  std::vector<Entry> entries_;
+};
+
+}  // namespace telea

@@ -1,0 +1,80 @@
+#include "harness/controller.hpp"
+
+namespace telea {
+
+Controller::Controller(Network& net) : net_(&net) {
+  net.sink().on_sink_data = [this](const msg::CtpData& data) {
+    on_sink_data(data);
+  };
+  if (TeleAdjusting* tele = net.sink().tele()) {
+    tele->on_e2e_ack = [this](std::uint32_t seqno, NodeId) {
+      acked_.push_back(seqno);
+    };
+  }
+}
+
+void Controller::on_sink_data(const msg::CtpData& data) {
+  if (data.is_control_ack) return;
+  ++arrivals_[data.origin];
+  if (data.has_code_report && !data.reported_code.empty()) {
+    reported_[data.origin] = data.reported_code;
+  }
+}
+
+std::optional<PathCode> Controller::reported_code(NodeId node) const {
+  const auto it = reported_.find(node);
+  if (it == reported_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Controller::begin_window() { window_start_ = arrivals_; }
+
+std::vector<NodeId> Controller::quiet_nodes(unsigned expected,
+                                            unsigned floor) const {
+  std::vector<NodeId> out;
+  for (const auto& [node, before] : window_start_) {
+    const auto now_it = arrivals_.find(node);
+    const unsigned delta =
+        (now_it != arrivals_.end() ? now_it->second : 0) - before;
+    if (before >= expected && delta < floor) out.push_back(node);
+  }
+  return out;
+}
+
+unsigned Controller::reports_from(NodeId node) const {
+  const auto it = arrivals_.find(node);
+  return it == arrivals_.end() ? 0 : it->second;
+}
+
+std::optional<std::uint32_t> Controller::send_command(NodeId node,
+                                                      std::uint16_t command) {
+  TeleAdjusting* sink_tele = net_->sink().tele();
+  TeleAdjusting* dest_tele =
+      node < net_->size() ? net_->node(node).tele() : nullptr;
+  if (sink_tele == nullptr || dest_tele == nullptr) return std::nullopt;
+  if (use_reported_codes_) {
+    const auto code = reported_code(node);
+    if (!code.has_value()) return std::nullopt;
+    return sink_tele->send_control(node, *code, command);
+  }
+  const auto& addressing = dest_tele->addressing();
+  if (!addressing.has_code()) return std::nullopt;
+  return sink_tele->send_control(node, addressing.code(), command);
+}
+
+std::optional<std::uint32_t> Controller::send_command_group(
+    const std::vector<NodeId>& nodes, std::uint16_t command) {
+  TeleAdjusting* sink_tele = net_->sink().tele();
+  if (sink_tele == nullptr) return std::nullopt;
+  std::vector<msg::GroupDest> dests;
+  for (NodeId n : nodes) {
+    if (n >= net_->size()) continue;
+    const TeleAdjusting* tele = net_->node(n).tele();
+    if (tele == nullptr || !tele->addressing().has_code()) continue;
+    dests.push_back(msg::GroupDest{n, tele->addressing().code()});
+  }
+  if (dests.empty()) return std::nullopt;
+  return sink_tele->send_control_group(dests, command);
+}
+
+}  // namespace telea

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "harness/network.hpp"
+
+namespace telea {
+
+/// The remote controller of the paper's Fig. 1: the entity behind the sink
+/// that watches collected data, detects anomalies, and issues remote-control
+/// commands addressed by path code. In a deployment it lives in the data
+/// center and learns codes/topology from reports; here it reads them from
+/// the simulated network, which is exactly the knowledge the paper grants it
+/// ("the local topology information of each node is necessary and likely
+/// known", Sec. III-C4).
+class Controller {
+ public:
+  explicit Controller(Network& net);
+
+  // --- data-plane monitoring (anomaly detection) -------------------------
+  /// Feed every CtpData delivered at the sink.
+  void on_sink_data(const msg::CtpData& data);
+
+  /// Starts an observation window for quiet-node detection.
+  void begin_window();
+
+  /// Nodes that had reported at least `expected` packets before the window
+  /// but fewer than `floor` inside it — the "observed network anomaly" the
+  /// paper's remote control exists to fix (Sec. II).
+  [[nodiscard]] std::vector<NodeId> quiet_nodes(unsigned expected,
+                                                unsigned floor) const;
+
+  [[nodiscard]] unsigned reports_from(NodeId node) const;
+
+  /// The destination's path code as last *reported in-band* (piggybacked on
+  /// its collection traffic), or nullopt if it never reported. This is the
+  /// knowledge a real controller has; reading codes out of the simulation
+  /// objects is the documented substitution (DESIGN.md §4).
+  [[nodiscard]] std::optional<PathCode> reported_code(NodeId node) const;
+
+  /// When true, send_command addresses destinations by their *reported*
+  /// codes only (fails for nodes that never reported) instead of reading
+  /// the live addressing state. Default false.
+  void set_use_reported_codes(bool use) { use_reported_codes_ = use; }
+
+  // --- control plane -------------------------------------------------------
+  /// Sends `command` to `node`, addressed by its current reported path code.
+  /// Returns the control seqno, or nullopt when the node has no code or the
+  /// network runs a non-TeleAdjusting protocol.
+  std::optional<std::uint32_t> send_command(NodeId node,
+                                            std::uint16_t command);
+
+  /// One-to-many: sends `command` to every node in `nodes` as a group
+  /// packet. Returns the group seqno, or nullopt when unsupported.
+  std::optional<std::uint32_t> send_command_group(
+      const std::vector<NodeId>& nodes, std::uint16_t command);
+
+  /// Acknowledged command seqnos seen so far (from e2e acks at the sink).
+  [[nodiscard]] const std::vector<std::uint32_t>& acked() const noexcept {
+    return acked_;
+  }
+
+ private:
+  Network* net_;
+  bool use_reported_codes_ = false;
+  std::map<NodeId, PathCode> reported_;
+  std::map<NodeId, unsigned> arrivals_;
+  std::map<NodeId, unsigned> window_start_;
+  std::vector<std::uint32_t> acked_;
+};
+
+}  // namespace telea

@@ -1,0 +1,251 @@
+#include "harness/experiment.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace telea {
+
+namespace {
+
+/// True for frame types that belong to the control plane under test — what
+/// Table III counts as "network-wide transmission count for delivering a
+/// control packet".
+bool is_control_class(const Frame& frame) noexcept {
+  return std::holds_alternative<msg::ControlPacket>(frame.payload) ||
+         std::holds_alternative<msg::FeedbackPacket>(frame.payload) ||
+         std::holds_alternative<msg::DripMsg>(frame.payload) ||
+         std::holds_alternative<msg::RplData>(frame.payload) ||
+         std::holds_alternative<msg::OrplData>(frame.payload);
+}
+
+struct PendingControl {
+  NodeId dest = kInvalidNode;
+  int dest_hops = -1;
+  SimTime sent_at = 0;
+  bool delivered = false;
+  SimTime delivered_at = 0;
+};
+
+}  // namespace
+
+ControlExperimentResult run_control_experiment(
+    const ControlExperimentConfig& config) {
+  Network net(config.network);
+  ControlExperimentResult result;
+  result.protocol = config.network.protocol;
+  result.wifi = config.network.wifi_interference;
+
+  // --- bookkeeping ------------------------------------------------------------
+  std::unordered_map<std::uint32_t, PendingControl> pending;  // by seqno
+  std::unordered_map<std::uint32_t, std::uint32_t> drip_version_to_seq;
+  std::unordered_set<std::uint32_t> e2e_acked;
+  std::uint32_t next_seq = 1;
+
+  // Per-node relay hooks feed the ATHX figure.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    NodeStack& node = net.node(id);
+    // NodeStack outlives every callback (owned by `net`); capture a pointer,
+    // not the loop-local reference.
+    const auto record_athx = [&result,
+                              node_ptr = &node](std::uint8_t hops_so_far) {
+      const int ctp_hops = node_ptr->ctp().hops();
+      if (ctp_hops >= 0 && ctp_hops < 0xFF) {
+        result.athx_by_hop.add(ctp_hops, hops_so_far);
+      }
+    };
+    if (TeleAdjusting* tele = node.tele()) {
+      tele->forwarding().on_claimed =
+          [record_athx](const msg::ControlPacket& p) {
+            record_athx(p.hops_so_far);
+          };
+      tele->on_control_delivered = [&, id](const msg::ControlPacket& p, bool) {
+        auto it = pending.find(p.seqno);
+        if (it == pending.end() || it->second.delivered) return;
+        if (it->second.dest != id) return;
+        it->second.delivered = true;
+        it->second.delivered_at = net.sim().now();
+      };
+    }
+    if (DripNode* drip = node.drip()) {
+      drip->on_adopted = [record_athx](const msg::DripMsg& m) {
+        record_athx(m.hops_so_far);
+      };
+      drip->on_delivered = [&, id](const msg::DripMsg& m) {
+        const auto sit = drip_version_to_seq.find(m.version);
+        if (sit == drip_version_to_seq.end()) return;
+        auto it = pending.find(sit->second);
+        if (it == pending.end() || it->second.delivered) return;
+        if (it->second.dest != id) return;
+        it->second.delivered = true;
+        it->second.delivered_at = net.sim().now();
+      };
+    }
+    if (OrplNode* orpl = node.orpl()) {
+      orpl->on_delivered = [&, id](const msg::OrplData& d) {
+        auto it = pending.find(d.seqno);
+        if (it == pending.end() || it->second.delivered) return;
+        if (it->second.dest != id) return;
+        it->second.delivered = true;
+        it->second.delivered_at = net.sim().now();
+      };
+    }
+    if (RplNode* rpl = node.rpl()) {
+      rpl->on_relayed = [record_athx](const msg::RplData& d) {
+        record_athx(d.hops_so_far);
+      };
+      rpl->on_delivered = [&, id](const msg::RplData& d) {
+        auto it = pending.find(d.seqno);
+        if (it == pending.end() || it->second.delivered) return;
+        if (it->second.dest != id) return;
+        it->second.delivered = true;
+        it->second.delivered_at = net.sim().now();
+      };
+    }
+  }
+  if (TeleAdjusting* sink_tele = net.sink().tele()) {
+    sink_tele->on_e2e_ack = [&e2e_acked](std::uint32_t seqno, NodeId) {
+      e2e_acked.insert(seqno);
+    };
+  }
+
+  // --- warm-up -------------------------------------------------------------------
+  net.start();
+  net.run_for(config.warmup);
+  if (config.on_warmed_up) config.on_warmed_up(net);
+  net.reset_accounting();
+
+  // Count control-class transmissions (LPL send operations, not copies)
+  // from here on: distinct (src, link_seq) pairs.
+  std::unordered_set<std::uint64_t> control_ops;
+  net.medium().set_transmit_hook(
+      [&control_ops](NodeId src, const Frame& frame, SimTime) {
+        if (!is_control_class(frame)) return;
+        control_ops.insert((static_cast<std::uint64_t>(src) << 32) |
+                           frame.link_seq);
+      });
+
+  // --- workload -------------------------------------------------------------------
+  net.start_data_collection(config.data_ipi);
+
+  Pcg32 dest_rng(config.network.seed ^ 0xDE57ULL, 7);
+  const auto node_count = static_cast<std::uint32_t>(net.size());
+  const SimTime end = net.sim().now() + config.duration;
+
+  while (net.sim().now() < end) {
+    net.run_for(config.control_interval);
+    if (net.sim().now() >= end) break;
+
+    const NodeId dest =
+        static_cast<NodeId>(dest_rng.uniform_in(1, node_count - 1));
+    NodeStack& dest_node = net.node(dest);
+    const int dest_hops = dest_node.ctp().hops() == 0xFF
+                              ? -1
+                              : dest_node.ctp().hops();
+
+    PendingControl record;
+    record.dest = dest;
+    record.dest_hops = dest_hops;
+    record.sent_at = net.sim().now();
+
+    const std::uint32_t seq = next_seq++;
+    bool injected = false;
+    switch (config.network.protocol) {
+      case ControlProtocol::kTele:
+      case ControlProtocol::kReTele: {
+        TeleAdjusting* dest_tele = dest_node.tele();
+        TeleAdjusting* sink_tele = net.sink().tele();
+        if (dest_tele != nullptr && sink_tele != nullptr &&
+            dest_tele->addressing().has_code()) {
+          // The controller knows the destination's reported path code.
+          const auto assigned = sink_tele->send_control(
+              dest, dest_tele->addressing().code(),
+              static_cast<std::uint16_t>(seq & 0xFFFF));
+          if (assigned.has_value()) {
+            pending.emplace(*assigned, record);
+            injected = true;
+          }
+        }
+        break;
+      }
+      case ControlProtocol::kDrip: {
+        const std::uint32_t version = net.sink().drip()->disseminate(
+            dest, static_cast<std::uint16_t>(seq & 0xFFFF));
+        drip_version_to_seq[version] = seq;
+        pending.emplace(seq, record);
+        injected = true;
+        break;
+      }
+      case ControlProtocol::kRpl: {
+        // A missing stored route is still a sent-and-lost control packet.
+        net.sink().rpl()->send_downward(
+            dest, static_cast<std::uint16_t>(seq & 0xFFFF), seq);
+        pending.emplace(seq, record);
+        injected = true;
+        break;
+      }
+      case ControlProtocol::kOrpl: {
+        net.sink().orpl()->send_downward(
+            dest, static_cast<std::uint16_t>(seq & 0xFFFF), seq);
+        pending.emplace(seq, record);
+        injected = true;
+        break;
+      }
+    }
+    if (!injected) {
+      // Could not even address the packet (no path code yet): count as a
+      // sent-and-lost control packet, same as the testbed would observe.
+      pending.emplace(seq, record);
+    }
+    ++result.sent;
+  }
+
+  net.run_for(config.drain);
+
+  // --- collect -------------------------------------------------------------------
+  result.duty_cycle = net.average_duty_cycle();
+  result.current_ma = net.average_current_ma();
+  for (const auto& [seqno, rec] : pending) {
+    if (rec.dest_hops < 0) continue;
+    result.pdr_by_hop.add(rec.dest_hops, rec.delivered ? 1.0 : 0.0);
+    if (rec.delivered) {
+      ++result.delivered;
+      result.latency_by_hop.add(
+          rec.dest_hops, to_seconds(rec.delivered_at - rec.sent_at));
+    }
+    if (e2e_acked.contains(seqno)) ++result.e2e_acked;
+  }
+  result.tx_per_control =
+      result.sent == 0 ? 0.0
+                       : static_cast<double>(control_ops.size()) /
+                             static_cast<double>(result.sent);
+  return result;
+}
+
+ControlExperimentResult merge_results(
+    const std::vector<ControlExperimentResult>& runs) {
+  ControlExperimentResult merged;
+  if (runs.empty()) return merged;
+  merged.protocol = runs.front().protocol;
+  merged.wifi = runs.front().wifi;
+  double tx = 0, duty = 0, current = 0;
+  for (const auto& r : runs) {
+    merged.sent += r.sent;
+    merged.delivered += r.delivered;
+    merged.e2e_acked += r.e2e_acked;
+    merged.pdr_by_hop.merge(r.pdr_by_hop);
+    merged.latency_by_hop.merge(r.latency_by_hop);
+    merged.athx_by_hop.merge(r.athx_by_hop);
+    tx += r.tx_per_control;
+    duty += r.duty_cycle;
+    current += r.current_ma;
+  }
+  merged.tx_per_control = tx / static_cast<double>(runs.size());
+  merged.duty_cycle = duty / static_cast<double>(runs.size());
+  merged.current_ma = current / static_cast<double>(runs.size());
+  return merged;
+}
+
+}  // namespace telea

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "harness/network.hpp"
+#include "stats/summary.hpp"
+
+namespace telea {
+
+/// Workload of the paper's testbed experiments (Sec. IV-B1): after warm-up,
+/// each node collects data every `data_ipi`, and the sink sends one control
+/// packet to a uniformly random destination every `control_interval`.
+struct ControlExperimentConfig {
+  NetworkConfig network{};
+  SimTime warmup = 25 * kMinute;
+  SimTime duration = 60 * kMinute;  // paper runs 3-9 h; configurable
+  SimTime control_interval = 1 * kMinute;
+  SimTime data_ipi = 10 * kMinute;
+  SimTime drain = 2 * kMinute;  // tail to let in-flight packets settle
+
+  /// Invoked once after warm-up, before the measured workload starts —
+  /// snapshot hooks (topology export, fault-plan application, tracing).
+  std::function<void(Network&)> on_warmed_up;
+};
+
+/// Everything the paper's Figs. 7-10 and Table III report, from one run.
+struct ControlExperimentResult {
+  ControlProtocol protocol{};
+  bool wifi = false;
+
+  unsigned sent = 0;
+  unsigned delivered = 0;
+  unsigned e2e_acked = 0;
+
+  /// Per-destination-CTP-hop delivery outcomes (1 delivered / 0 lost):
+  /// mean() of a group is the PDR at that hop count (Fig. 7).
+  GroupedStats pdr_by_hop;
+  /// End-to-end latency (seconds) of delivered packets, by hop (Fig. 10).
+  GroupedStats latency_by_hop;
+  /// Accumulated transmission hop count of received control packets vs the
+  /// receiver's CTP hop count (Fig. 8) — recorded at every relay/adopter.
+  GroupedStats athx_by_hop;
+  /// Network-wide control-plane transmissions per control packet
+  /// (Table III): LPL send operations of control-class frames / sent.
+  double tx_per_control = 0.0;
+  /// Mean radio duty cycle across nodes over the measurement phase (Fig. 9).
+  double duty_cycle = 0.0;
+  /// Mean per-node battery current (mA) over the measurement phase — the
+  /// energy-model extension of Fig. 9.
+  double current_ma = 0.0;
+
+  [[nodiscard]] double pdr() const noexcept {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(delivered) /
+                           static_cast<double>(sent);
+  }
+};
+
+/// Runs one control-plane experiment end to end: build, warm up, drive the
+/// workload, collect. Deterministic in (config, config.network.seed).
+[[nodiscard]] ControlExperimentResult run_control_experiment(
+    const ControlExperimentConfig& config);
+
+/// Merges per-run results (the paper averages over >= 5 runs).
+[[nodiscard]] ControlExperimentResult merge_results(
+    const std::vector<ControlExperimentResult>& runs);
+
+}  // namespace telea

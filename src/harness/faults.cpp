@@ -1,0 +1,38 @@
+#include "harness/faults.hpp"
+
+#include "util/rng.hpp"
+
+namespace telea {
+
+FaultPlan FaultPlan::random_churn(std::size_t node_count, std::size_t count,
+                                  SimTime start, SimTime end, SimTime downtime,
+                                  std::uint64_t seed) {
+  FaultPlan plan;
+  if (node_count <= 1 || end <= start) return plan;
+  Pcg32 rng(seed, /*stream=*/0xFA17ULL);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto node = static_cast<NodeId>(
+        1 + rng.uniform(static_cast<std::uint32_t>(node_count - 1)));
+    const SimTime at =
+        start + rng.uniform(static_cast<std::uint32_t>(
+                    std::min<SimTime>(end - start, 0xFFFFFFFFull)));
+    plan.outage(at, downtime, node);
+  }
+  return plan;
+}
+
+void FaultPlan::apply(Network& net) const {
+  for (const Event& e : events_) {
+    if (e.node >= net.size()) continue;
+    const Event event = e;
+    net.sim().schedule_at(event.at, [&net, event] {
+      if (event.action == Action::kKill) {
+        net.node(event.node).kill();
+      } else {
+        net.node(event.node).revive();
+      }
+    });
+  }
+}
+
+}  // namespace telea

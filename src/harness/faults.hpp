@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/network.hpp"
+
+namespace telea {
+
+/// A reproducible failure schedule: kill/revive actions at absolute virtual
+/// times, applied to a Network before (or while) it runs. Robustness
+/// experiments and churn studies build on this instead of hand-placed
+/// schedule_in calls.
+class FaultPlan {
+ public:
+  enum class Action : std::uint8_t { kKill, kRevive };
+
+  struct Event {
+    SimTime at = 0;
+    NodeId node = kInvalidNode;
+    Action action = Action::kKill;
+  };
+
+  FaultPlan& kill_at(SimTime at, NodeId node) {
+    events_.push_back(Event{at, node, Action::kKill});
+    return *this;
+  }
+
+  FaultPlan& revive_at(SimTime at, NodeId node) {
+    events_.push_back(Event{at, node, Action::kRevive});
+    return *this;
+  }
+
+  /// Down-for-a-while convenience: kill at `at`, revive at `at + downtime`.
+  FaultPlan& outage(SimTime at, SimTime downtime, NodeId node) {
+    return kill_at(at, node).revive_at(at + downtime, node);
+  }
+
+  /// Random churn: `count` outages of `downtime` each, uniformly placed over
+  /// [start, end) on uniformly random non-sink nodes.
+  static FaultPlan random_churn(std::size_t node_count, std::size_t count,
+                                SimTime start, SimTime end, SimTime downtime,
+                                std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+  /// Schedules every event on the network's simulator. Call once, before
+  /// running past the earliest event. Events for out-of-range nodes are
+  /// ignored.
+  void apply(Network& net) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace telea

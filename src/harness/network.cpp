@@ -1,0 +1,350 @@
+#include "harness/network.hpp"
+
+#include <algorithm>
+
+#include "core/path_code.hpp"
+#include "radio/phy.hpp"
+#include "stats/energy.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+
+const char* protocol_name(ControlProtocol p) noexcept {
+  switch (p) {
+    case ControlProtocol::kTele: return "Tele";
+    case ControlProtocol::kReTele: return "Re-Tele";
+    case ControlProtocol::kDrip: return "Drip";
+    case ControlProtocol::kRpl: return "RPL";
+    case ControlProtocol::kOrpl: return "ORPL";
+  }
+  return "?";
+}
+
+NodeStack::NodeStack(Simulator& sim, RadioMedium& medium, NodeId id,
+                     const NetworkConfig& config, std::uint64_t seed)
+    : estimator_(),
+      mac_(sim, medium, id, config.lpl, seed),
+      ctp_(sim, mac_, estimator_, config.ctp, /*is_root=*/id == kSinkNode,
+           seed ^ (0x5EED0000ULL + id)),
+      data_timer_(sim),
+      sim_(&sim) {
+  mac_.set_handler(*this);
+  ctp_.set_listener(this);
+
+  if (config.uses_tele()) {
+    TeleConfig tele_config = config.tele;
+    tele_config.retele = config.protocol == ControlProtocol::kReTele;
+    tele_config.addressing.wake_interval = config.lpl.wake_interval;
+    tele_ = std::make_unique<TeleAdjusting>(sim, mac_, ctp_, tele_config);
+  } else if (config.protocol == ControlProtocol::kDrip) {
+    drip_ = std::make_unique<DripNode>(sim, mac_, config.drip,
+                                       seed ^ (0xD41B0000ULL + id));
+  } else if (config.protocol == ControlProtocol::kRpl) {
+    rpl_ = std::make_unique<RplNode>(sim, mac_, ctp_, config.rpl);
+  } else if (config.protocol == ControlProtocol::kOrpl) {
+    orpl_ = std::make_unique<OrplNode>(sim, mac_, ctp_, config.orpl);
+  }
+
+  if (id == kSinkNode) {
+    ctp_.set_deliver([this](const msg::CtpData& data) {
+      if (tele_) tele_->notify_root_delivery(data);
+      if (on_sink_data) on_sink_data(data);
+    });
+  }
+}
+
+void NodeStack::start() {
+  mac_.start();
+  ctp_.start();
+  if (tele_) tele_->start();
+  if (drip_) drip_->start();
+  if (rpl_) rpl_->start();
+  if (orpl_) orpl_->start();
+}
+
+AckDecision NodeStack::handle_frame(const Frame& frame, bool for_me,
+                                    double rssi_dbm) {
+  (void)rssi_dbm;
+  return std::visit(
+      [&](const auto& payload) -> AckDecision {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, msg::CtpBeacon>) {
+          ctp_.handle_beacon(frame.src, payload);
+          return AckDecision::kAccept;
+        } else if constexpr (std::is_same_v<T, msg::CtpData>) {
+          // Overhearing a control e2e ack proves delivery: straggler
+          // duplicates of that control packet can be dropped everywhere.
+          if (payload.is_control_ack && tele_) {
+            tele_->forwarding().note_ack_overheard(payload.control_seqno);
+          }
+          return ctp_.handle_data(frame.src, payload, for_me);
+        } else if constexpr (std::is_same_v<T, msg::DripMsg>) {
+          return drip_ ? drip_->handle_msg(frame.src, payload)
+                       : AckDecision::kIgnore;
+        } else if constexpr (std::is_same_v<T, msg::RplDao>) {
+          return rpl_ ? rpl_->handle_dao(frame.src, payload, for_me)
+                      : AckDecision::kIgnore;
+        } else if constexpr (std::is_same_v<T, msg::RplData>) {
+          return rpl_ ? rpl_->handle_data(frame.src, payload, for_me)
+                      : AckDecision::kIgnore;
+        } else if constexpr (std::is_same_v<T, msg::OrplAnnounce>) {
+          return orpl_ ? orpl_->handle_announce(frame.src, payload)
+                       : AckDecision::kIgnore;
+        } else if constexpr (std::is_same_v<T, msg::OrplData>) {
+          return orpl_ ? orpl_->handle_data(frame.src, payload)
+                       : AckDecision::kIgnore;
+        } else {
+          // All TeleAdjusting frame types.
+          return tele_ ? tele_->handle_frame(frame, for_me)
+                       : AckDecision::kIgnore;
+        }
+      },
+      frame.payload);
+}
+
+void NodeStack::on_duplicate_frame(const Frame& frame, bool for_me) {
+  (void)for_me;
+  if (tele_ == nullptr) return;
+  if (const auto* cp = std::get_if<msg::ControlPacket>(&frame.payload)) {
+    tele_->forwarding().note_duplicate(frame.src, *cp);
+  }
+}
+
+void NodeStack::on_route_found() {
+  if (tele_) tele_->on_route_found();
+}
+
+void NodeStack::on_parent_changed(NodeId old_parent, NodeId new_parent) {
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_->now(), id(), TraceEvent::kParentChange, old_parent,
+                    new_parent);
+  }
+  if (tele_) tele_->on_parent_changed(old_parent, new_parent);
+  if (rpl_) rpl_->on_parent_changed();
+}
+
+void NodeStack::on_beacon_heard(NodeId from, const msg::CtpBeacon& beacon) {
+  if (tele_) tele_->on_beacon_heard(from, beacon);
+}
+
+void NodeStack::kill() {
+  if (tracer_ != nullptr) tracer_->record(sim_->now(), id(), TraceEvent::kKill);
+  data_timer_.stop();
+  mac_.stop();
+}
+
+void NodeStack::revive() {
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_->now(), id(), TraceEvent::kRevive);
+  }
+  mac_.restart();
+}
+
+void NodeStack::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tele_ != nullptr) {
+    if (tracer == nullptr) {
+      tele_->addressing().on_code_changed = nullptr;
+    } else {
+      tele_->addressing().on_code_changed = [this] {
+        tracer_->record(sim_->now(), id(), TraceEvent::kCodeChange,
+                        tele_->addressing().code().size());
+      };
+    }
+  }
+}
+
+void NodeStack::start_data_collection(SimTime ipi, std::uint64_t seed) {
+  if (mac_.stopped()) return;
+  if (ctp_.is_root()) return;
+  Pcg32 rng(seed ^ (0xDA7AULL + id()), id());
+  data_timer_.set_callback([this] {
+    msg::CtpData data;
+    // In-band code report (paper Sec. III-A): collection traffic carries
+    // the node's current path code up to the controller.
+    if (tele_ != nullptr && tele_->addressing().has_code()) {
+      data.has_code_report = true;
+      data.reported_code = tele_->addressing().code();
+    }
+    ctp_.send_to_sink(data);
+  });
+  const SimTime phase = rng.uniform(static_cast<std::uint32_t>(
+      std::min<SimTime>(ipi, 0xFFFFFFFFull)));
+  data_timer_.start_periodic_at(phase + 1, ipi);
+}
+
+Network::Network(NetworkConfig config) : config_(std::move(config)) {
+  const Topology& topo = config_.topology;
+  gains_ = std::make_unique<LinkGainTable>(topo.positions, topo.path_loss,
+                                           config_.seed);
+  const auto trace =
+      generate_heavy_noise_trace(config_.noise_trace, config_.seed ^ 0x4015EULL);
+  noise_model_ = std::make_unique<CpmNoiseModel>(trace, /*history=*/3);
+
+  MediumConfig medium_config = config_.medium;
+  medium_config.tx_power_dbm = topo.tx_power_dbm;
+  medium_ = std::make_unique<RadioMedium>(sim_, *gains_, *noise_model_,
+                                          medium_config, config_.seed);
+
+  if (config_.wifi_interference) {
+    WifiInterfererConfig wifi = config_.wifi;
+    wifi.enabled = true;
+    interferer_ = std::make_unique<WifiInterferer>(wifi, topo.size(),
+                                                   config_.seed ^ 0x3F1ULL);
+    medium_->set_interferer(interferer_.get());
+  }
+
+  nodes_.reserve(topo.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    nodes_.push_back(std::make_unique<NodeStack>(
+        sim_, *medium_, static_cast<NodeId>(i), config_,
+        config_.seed ^ (i * 0x9E3779B97F4A7C15ULL)));
+  }
+
+  // Wire the Re-Tele controller knowledge into every sink-capable node (only
+  // the sink originates, but the hook is cheap).
+  if (config_.protocol == ControlProtocol::kReTele) {
+    if (TeleAdjusting* sink_tele = nodes_[kSinkNode]->tele()) {
+      sink_tele->set_controller_hook(
+          [this](NodeId dest, std::uint32_t) { return suggest_detour(dest); });
+    }
+  }
+}
+
+void Network::start() {
+  for (auto& n : nodes_) n->start();
+}
+
+std::optional<DetourSuggestion> Network::suggest_detour(NodeId dest) const {
+  // The destination id came off the air: validate before indexing.
+  if (dest >= nodes_.size()) return std::nullopt;
+  const TeleAdjusting* dest_tele = nodes_[dest]->tele();
+  if (dest_tele == nullptr || !dest_tele->addressing().has_code()) {
+    return std::nullopt;
+  }
+  const PathCode& dest_code = dest_tele->addressing().code();
+
+  // "High link quality" neighbor: comfortably inside the reception budget.
+  const double good_loss =
+      config_.topology.tx_power_dbm - Cc2420Phy::kSensitivityDbm - 6.0;
+
+  std::optional<DetourSuggestion> best;
+  std::size_t best_divergence = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (id == dest || id == kSinkNode) continue;
+    if (gains_->loss_db(id, dest) > good_loss) continue;
+    const TeleAdjusting* tele = nodes_[i]->tele();
+    if (tele == nullptr || !tele->addressing().has_code()) continue;
+    const PathCode& code = tele->addressing().code();
+    // The detour must not route through the same broken subtree: prefer the
+    // most divergent code (paper: "different path code to the greatest
+    // extent").
+    const std::size_t divergence = code_divergence(code, dest_code);
+    if (!best.has_value() || divergence > best_divergence) {
+      best = DetourSuggestion{id, code};
+      best_divergence = divergence;
+    }
+  }
+  return best;
+}
+
+int Network::code_tree_depth(NodeId id) const {
+  if (id >= nodes_.size()) return -1;
+  if (id == kSinkNode) return 0;
+  int depth = 0;
+  NodeId cur = id;
+  for (std::size_t guard = 0; guard <= nodes_.size(); ++guard) {
+    const TeleAdjusting* tele = nodes_[cur]->tele();
+    if (tele == nullptr || !tele->addressing().has_code()) return -1;
+    const NodeId up = tele->addressing().code_parent();
+    if (up == kInvalidNode) return -1;
+    ++depth;
+    if (up == kSinkNode) return depth;
+    cur = up;
+  }
+  return -1;  // cycle (stale allocator chain)
+}
+
+int Network::ctp_tree_depth(NodeId id) const {
+  if (id >= nodes_.size()) return -1;
+  if (id == kSinkNode) return 0;
+  int depth = 0;
+  NodeId cur = id;
+  for (std::size_t guard = 0; guard <= nodes_.size(); ++guard) {
+    const NodeId up = nodes_[cur]->ctp().parent();
+    if (up == kInvalidNode) return -1;
+    ++depth;
+    if (up == kSinkNode) return depth;
+    cur = up;
+  }
+  return -1;  // routing loop
+}
+
+double Network::code_coverage() const {
+  if (nodes_.size() <= 1) return 1.0;
+  std::size_t with_code = 0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const TeleAdjusting* tele = nodes_[i]->tele();
+    if (tele != nullptr && tele->addressing().has_code()) ++with_code;
+  }
+  return static_cast<double>(with_code) /
+         static_cast<double>(nodes_.size() - 1);
+}
+
+void Network::reset_accounting() {
+  for (auto& n : nodes_) n->mac().reset_accounting();
+}
+
+double Network::average_duty_cycle() const {
+  double sum = 0;
+  for (const auto& n : nodes_) sum += n->mac().duty_cycle();
+  return sum / static_cast<double>(nodes_.size());
+}
+
+double Network::average_energy_mj() const {
+  EnergyModelConfig cfg;
+  cfg.tx_power_dbm = config_.topology.tx_power_dbm;
+  const EnergyModel model(cfg);
+  double sum = 0;
+  for (const auto& n : nodes_) {
+    sum += model.energy_mj(n->mac().radio_on_time(), n->mac().tx_airtime(),
+                           n->mac().accounting_window());
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+double Network::average_current_ma() const {
+  EnergyModelConfig cfg;
+  cfg.tx_power_dbm = config_.topology.tx_power_dbm;
+  const EnergyModel model(cfg);
+  double sum = 0;
+  for (const auto& n : nodes_) {
+    sum += model.average_current_ma(n->mac().radio_on_time(),
+                                    n->mac().tx_airtime(),
+                                    n->mac().accounting_window());
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+void Network::start_data_collection(SimTime ipi) {
+  for (auto& n : nodes_) n->start_data_collection(ipi, config_.seed);
+}
+
+Tracer& Network::enable_tracing(std::size_t capacity) {
+  if (tracer_ != nullptr) return *tracer_;
+  tracer_ = std::make_unique<Tracer>(capacity);
+  for (auto& n : nodes_) n->set_tracer(tracer_.get());
+  medium_->add_transmit_hook(
+      [this](NodeId src, const Frame& frame, SimTime) {
+        tracer_->record(sim_.now(), src, TraceEvent::kTransmit,
+                        frame.payload.index(), frame.dst);
+        if (const auto* cp = std::get_if<msg::ControlPacket>(&frame.payload)) {
+          tracer_->record(sim_.now(), src, TraceEvent::kControlTx, cp->seqno,
+                          cp->expected_relay);
+        }
+      });
+  return *tracer_;
+}
+
+}  // namespace telea

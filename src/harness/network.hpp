@@ -1,0 +1,189 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/teleadjusting.hpp"
+#include "mac/lpl.hpp"
+#include "net/ctp.hpp"
+#include "net/link_estimator.hpp"
+#include "proto/drip.hpp"
+#include "proto/orpl.hpp"
+#include "proto/rpl.hpp"
+#include "radio/interferer.hpp"
+#include "radio/medium.hpp"
+#include "radio/noise.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "stats/trace.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+
+/// Which downward-control protocol a scenario exercises.
+enum class ControlProtocol { kTele, kReTele, kDrip, kRpl, kOrpl };
+
+[[nodiscard]] const char* protocol_name(ControlProtocol p) noexcept;
+
+struct NetworkConfig {
+  Topology topology;
+  std::uint64_t seed = 1;
+  ControlProtocol protocol = ControlProtocol::kReTele;
+  bool wifi_interference = false;  // the paper's channel 19 vs 26 contrast
+
+  LplConfig lpl{};
+  CtpConfig ctp{};
+  TeleConfig tele{};
+  DripConfig drip{};
+  RplConfig rpl{};
+  OrplConfig orpl{};
+  WifiInterfererConfig wifi{};
+  MediumConfig medium{};  // tx power is overridden from the topology
+  SyntheticTraceConfig noise_trace{};
+
+  [[nodiscard]] bool uses_tele() const noexcept {
+    return protocol == ControlProtocol::kTele ||
+           protocol == ControlProtocol::kReTele;
+  }
+};
+
+/// One sensor node's full protocol stack, wired together the way the paper's
+/// TinyOS image is ("Drip, RPL, and TeleAdjusting integrated into the same
+/// protocol stack: CTP built upon LPL") — with the protocol under test
+/// instantiated. Also the node's frame dispatcher and CTP event fan-out.
+class NodeStack final : public FrameHandler, public CtpListener {
+ public:
+  NodeStack(Simulator& sim, RadioMedium& medium, NodeId id,
+            const NetworkConfig& config, std::uint64_t seed);
+
+  void start();
+
+  // --- FrameHandler ---------------------------------------------------------
+  AckDecision handle_frame(const Frame& frame, bool for_me,
+                           double rssi_dbm) override;
+  void on_duplicate_frame(const Frame& frame, bool for_me) override;
+
+  // --- CtpListener (fans out to the protocols) -------------------------------
+  void on_route_found() override;
+  void on_parent_changed(NodeId old_parent, NodeId new_parent) override;
+  void on_beacon_heard(NodeId from, const msg::CtpBeacon& beacon) override;
+
+  // --- components -------------------------------------------------------------
+  [[nodiscard]] NodeId id() const noexcept { return mac_.id(); }
+  [[nodiscard]] LplMac& mac() noexcept { return mac_; }
+  [[nodiscard]] CtpNode& ctp() noexcept { return ctp_; }
+  [[nodiscard]] LinkEstimator& estimator() noexcept { return estimator_; }
+  [[nodiscard]] TeleAdjusting* tele() noexcept { return tele_.get(); }
+  [[nodiscard]] DripNode* drip() noexcept { return drip_.get(); }
+  [[nodiscard]] RplNode* rpl() noexcept { return rpl_.get(); }
+  [[nodiscard]] OrplNode* orpl() noexcept { return orpl_.get(); }
+
+  /// Sink-side data delivery (set by the harness / applications).
+  std::function<void(const msg::CtpData&)> on_sink_data;
+
+  /// Starts this node's periodic data-collection traffic (CTP upward).
+  void start_data_collection(SimTime ipi, std::uint64_t seed);
+
+  /// Failure injection: silences this node permanently (radio off, no more
+  /// protocol activity — a crashed/depleted mote).
+  void kill();
+  /// Brings a killed node back (reboot): the radio resumes; routing and
+  /// addressing state repair through the normal protocol machinery.
+  void revive();
+  [[nodiscard]] bool killed() const noexcept { return mac_.stopped(); }
+
+  /// Attaches a structured event tracer (parent changes, code changes,
+  /// kill/revive for this node). Pass nullptr to detach.
+  void set_tracer(Tracer* tracer);
+
+ private:
+  LinkEstimator estimator_;
+  LplMac mac_;
+  CtpNode ctp_;
+  std::unique_ptr<TeleAdjusting> tele_;
+  std::unique_ptr<DripNode> drip_;
+  std::unique_ptr<RplNode> rpl_;
+  std::unique_ptr<OrplNode> orpl_;
+  Timer data_timer_;
+  Simulator* sim_;
+  Tracer* tracer_ = nullptr;
+};
+
+/// A complete simulated deployment: radio substrate + one NodeStack per
+/// node. This is the assembly layer every example and benchmark builds on.
+class Network {
+ public:
+  explicit Network(NetworkConfig config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Boots every node (MAC duty cycling, CTP beaconing, protocol timers).
+  void start();
+
+  /// Advances virtual time.
+  void run_for(SimTime duration) { sim_.run_until(sim_.now() + duration); }
+
+  [[nodiscard]] Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] RadioMedium& medium() noexcept { return *medium_; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] NodeStack& node(NodeId id) noexcept { return *nodes_[id]; }
+  [[nodiscard]] NodeStack& sink() noexcept { return *nodes_[kSinkNode]; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LinkGainTable& gains() const noexcept { return *gains_; }
+
+  /// The controller's global knowledge (paper Sec. III-C4 assumes the remote
+  /// controller knows each node's local topology): picks the destination's
+  /// neighbor with a maximally divergent path code over a good link.
+  [[nodiscard]] std::optional<DetourSuggestion> suggest_detour(
+      NodeId dest) const;
+
+  /// Depth of `id` in the *code tree* (following position allocators), or -1
+  /// when the node has no code / the chain is broken. Fig. 6(d)'s
+  /// "downwards hop count".
+  [[nodiscard]] int code_tree_depth(NodeId id) const;
+
+  /// Depth of `id` in the live CTP tree (following current parents), or -1
+  /// when the node has no route / the chain is broken. Unlike the hops field
+  /// carried in beacons, this cannot go stale.
+  [[nodiscard]] int ctp_tree_depth(NodeId id) const;
+
+  /// Fraction of non-sink nodes holding a confirmed path code.
+  [[nodiscard]] double code_coverage() const;
+
+  /// Resets MAC accounting on every node (call after warm-up).
+  void reset_accounting();
+
+  /// Mean radio duty cycle across nodes since the last accounting reset.
+  [[nodiscard]] double average_duty_cycle() const;
+
+  /// Mean per-node energy (mJ) since the last accounting reset, under the
+  /// TelosB energy model at this deployment's TX power.
+  [[nodiscard]] double average_energy_mj() const;
+
+  /// Mean per-node battery current (mA) since the last accounting reset.
+  [[nodiscard]] double average_current_ma() const;
+
+  /// Starts periodic data-collection traffic on every non-sink node.
+  void start_data_collection(SimTime ipi);
+
+  /// Enables structured event tracing (transmissions, control relays,
+  /// parent/code changes, failures) into an in-memory ring of `capacity`
+  /// records. Idempotent; the tracer lives as long as the network.
+  Tracer& enable_tracing(std::size_t capacity = 1 << 16);
+  [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+
+ private:
+  NetworkConfig config_;
+  Simulator sim_;
+  std::unique_ptr<LinkGainTable> gains_;
+  std::unique_ptr<CpmNoiseModel> noise_model_;
+  std::unique_ptr<RadioMedium> medium_;
+  std::unique_ptr<WifiInterferer> interferer_;
+  std::vector<std::unique_ptr<NodeStack>> nodes_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace telea

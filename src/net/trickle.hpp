@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+
+/// The Trickle algorithm (Levis et al., NSDI'04; RFC 6206): an adaptive
+/// suppression timer. The interval doubles from Imin to Imax while the
+/// network is consistent; hearing an inconsistency resets it. A firing is
+/// suppressed when ≥ k consistent messages were heard this interval
+/// (k = 0 disables suppression, as CTP's beacon timer does).
+///
+/// Used here to pace CTP routing beacons and Drip dissemination — both as in
+/// the paper's stack (Sec. IV-A1: "constructed by CTP with Trickle").
+class TrickleTimer {
+ public:
+  struct Config {
+    SimTime i_min = 512 * kMillisecond;
+    SimTime i_max = 512 * kMillisecond * (1u << 10);  // ~524 s
+    unsigned k = 0;  // suppression constant; 0 = never suppress
+  };
+
+  TrickleTimer(Simulator& sim, const Config& config, std::uint64_t seed);
+
+  /// `fire` is invoked at each (unsuppressed) Trickle firing.
+  void set_callback(std::function<void()> fire) { fire_ = std::move(fire); }
+
+  /// Starts (or restarts) the timer at Imin.
+  void start();
+  void stop();
+
+  /// Call when a *consistent* message is heard (counts toward suppression).
+  void hear_consistent();
+
+  /// Call when an *inconsistent* message is heard: resets the interval to
+  /// Imin (only if it is not already there, per RFC 6206 §4.2 rule 6).
+  void hear_inconsistent();
+
+  /// Explicit reset to Imin (e.g. route change, pull request).
+  void reset();
+
+  [[nodiscard]] SimTime current_interval() const noexcept { return interval_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void begin_interval();
+  void on_fire();
+  void on_interval_end();
+
+  Simulator* sim_;
+  Config config_;
+  std::function<void()> fire_;
+  Pcg32 rng_;
+  Timer fire_timer_;
+  Timer interval_timer_;
+  SimTime interval_ = 0;
+  unsigned heard_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace telea

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mac/lpl.hpp"
+#include "net/ctp.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+
+/// RFC 6550 mode of operation for downward routing.
+enum class RplMode : std::uint8_t {
+  kStoring,     // every node stores routes for its sub-DODAG (paper baseline)
+  kNonStoring,  // only the root stores topology; packets carry source routes
+};
+
+struct RplConfig {
+  RplMode mode = RplMode::kStoring;
+  SimTime dao_interval = 60 * kSecond;   // periodic DAO refresh
+  SimTime dao_trigger_delay = 5 * kSecond;  // debounce for triggered DAOs
+  /// Stale-route expiry. RFC 6550 deployments use generous lifetimes (tens
+  /// of minutes); short lifetimes lose routes to a couple of missed DAO
+  /// chains, long ones keep stale next-hops alive after churn — the
+  /// deterministic-forwarding failure mode Fig. 7 punishes.
+  SimTime route_lifetime = 15 * 60 * kSecond;
+  unsigned data_retx = 8;  // link-layer send ops per hop before drop
+  std::size_t queue_limit = 12;
+};
+
+/// RPL downward routing, storing mode (RFC 6550) — the paper's *structured*
+/// baseline (Sec. IV-B): "we only use the downward part of RPL". The DODAG
+/// is the CTP tree (RPL's design "is largely based on CTP"); each node
+/// advertises itself and its stored targets to its preferred parent with
+/// DAOs, ancestors install target->child routes, and downward data follows
+/// the stored tables with deterministic unicast per hop.
+///
+/// Its weakness — the one the paper's Fig. 7 exposes — is intrinsic: when
+/// links churn, the stored tables go stale and deterministic forwarding
+/// drops packets that TeleAdjusting's anycast would have rescued.
+class RplNode {
+ public:
+  RplNode(Simulator& sim, LplMac& mac, CtpNode& ctp, const RplConfig& config);
+
+  RplNode(const RplNode&) = delete;
+  RplNode& operator=(const RplNode&) = delete;
+
+  /// Starts DAO timers. Call at node boot.
+  void start();
+
+  /// Call when CTP changes this node's parent so a triggered DAO refreshes
+  /// the new ancestor chain.
+  void on_parent_changed();
+
+  // --- dispatcher entries -----------------------------------------------------
+  AckDecision handle_dao(NodeId from, const msg::RplDao& dao, bool for_me);
+  AckDecision handle_data(NodeId from, const msg::RplData& data, bool for_me);
+
+  /// Root-side: sends a command down to `dest`. Returns false when no stored
+  /// route exists (counted as an immediate routing failure).
+  bool send_downward(NodeId dest, std::uint16_t command, std::uint32_t seqno);
+
+  /// Fired at the destination when a downward packet arrives.
+  std::function<void(const msg::RplData&)> on_delivered;
+  /// Fired at every relay that accepts a downward packet — stats hook for
+  /// the accumulated-transmission-hop-count figure (Fig. 8c).
+  std::function<void(const msg::RplData&)> on_relayed;
+  /// Fired at whichever hop drops the packet (no route / link exhausted).
+  std::function<void(std::uint32_t seqno)> on_drop;
+
+  // --- introspection ------------------------------------------------------------
+  [[nodiscard]] bool has_route_to(NodeId dest) const;
+  [[nodiscard]] std::size_t route_count() const noexcept {
+    return routes_.size();
+  }
+  [[nodiscard]] RplMode mode() const noexcept { return config_.mode; }
+
+  /// Non-storing root: the source route (first hop .. dest) to `dest`, or
+  /// empty when the topology view cannot reach it.
+  [[nodiscard]] std::vector<NodeId> compute_source_route(NodeId dest) const;
+
+ private:
+  struct Route {
+    NodeId target;
+    NodeId next_hop;
+    SimTime refreshed;
+  };
+
+  void send_dao();
+  void expire_routes();
+  [[nodiscard]] const Route* find_route(NodeId target) const;
+  void enqueue(msg::RplData data);
+  void forward_next();
+
+  Simulator* sim_;
+  LplMac* mac_;
+  CtpNode* ctp_;
+  RplConfig config_;
+
+  std::vector<Route> routes_;
+  // Non-storing root state: origin -> (transit parent, refresh time).
+  struct ParentLink {
+    NodeId origin;
+    NodeId parent;
+    SimTime refreshed;
+  };
+  std::vector<ParentLink> topology_;
+  std::uint8_t dao_seqno_ = 0;
+  unsigned dao_failures_ = 0;
+  Timer dao_timer_;
+  Timer trigger_timer_;
+
+  std::deque<msg::RplData> queue_;
+  std::deque<std::uint32_t> seen_;  // recent downward seqnos (dedup)
+  bool forwarding_ = false;
+  unsigned front_attempts_ = 0;
+};
+
+}  // namespace telea

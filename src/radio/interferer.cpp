@@ -1,0 +1,44 @@
+#include "radio/interferer.hpp"
+
+namespace telea {
+
+namespace {
+constexpr double kOffFloorDbm = -120.0;
+}
+
+WifiInterferer::WifiInterferer(const WifiInterfererConfig& config,
+                               std::size_t node_count, std::uint64_t seed)
+    : config_(config), rng_(seed, /*stream=*/0x171F1ULL) {
+  node_offset_db_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    node_offset_db_.push_back(rng_.normal(0.0, config.node_offset_sigma_db));
+  }
+  // Start in the off state with a pending first burst.
+  next_toggle_ = static_cast<SimTime>(
+      rng_.exponential(static_cast<double>(config.mean_off)));
+}
+
+void WifiInterferer::advance_to(SimTime t) {
+  while (next_toggle_ <= t) {
+    on_ = !on_;
+    const double mean = static_cast<double>(on_ ? config_.mean_on
+                                                : config_.mean_off);
+    next_toggle_ += static_cast<SimTime>(rng_.exponential(mean)) + 1;
+  }
+}
+
+double WifiInterferer::power_at(NodeId node, SimTime t) {
+  if (!config_.enabled) return kOffFloorDbm;
+  advance_to(t);
+  if (!on_) return kOffFloorDbm;
+  return config_.base_power_dbm + node_offset_db_[node];
+}
+
+double WifiInterferer::expected_duty() const noexcept {
+  if (!config_.enabled) return 0.0;
+  const double on = static_cast<double>(config_.mean_on);
+  const double off = static_cast<double>(config_.mean_off);
+  return on / (on + off);
+}
+
+}  // namespace telea

@@ -1,0 +1,233 @@
+#include "radio/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "radio/phy.hpp"
+#include "util/dbm.hpp"
+#include "util/logging.hpp"
+
+namespace telea {
+
+RadioMedium::RadioMedium(Simulator& sim, const LinkGainTable& gains,
+                         const CpmNoiseModel& noise, const MediumConfig& config,
+                         std::uint64_t seed)
+    : sim_(&sim),
+      gains_(&gains),
+      config_(config),
+      nodes_(gains.node_count()),
+      rng_(seed, /*stream=*/0x4D454449ULL) {
+  noise_.reserve(gains.node_count());
+  for (std::size_t i = 0; i < gains.node_count(); ++i) {
+    noise_.push_back(noise.make_generator(seed ^ (i * 0x9E3779B97F4A7C15ULL),
+                                          /*stream=*/i + 1));
+  }
+  if (config_.max_loss_db <= 0.0) {
+    config_.max_loss_db = config_.tx_power_dbm - Cc2420Phy::kSensitivityDbm +
+                          config_.cutoff_margin_db;
+  }
+  // The table is shared between experiments; (re)build its neighbor lists
+  // for this medium's cutoff.
+  const_cast<LinkGainTable*>(gains_)->build_neighbor_lists(config_.max_loss_db);
+}
+
+void RadioMedium::attach(NodeId id, MediumListener& listener) {
+  assert(id < nodes_.size());
+  nodes_[id].listener = &listener;
+}
+
+void RadioMedium::set_listening(NodeId id, bool listening) {
+  NodeState& st = nodes_[id];
+  if (st.listening == listening) return;
+  st.listening = listening;
+  if (!listening) st.locked_tx = 0;  // sleeping aborts any in-flight reception
+}
+
+bool RadioMedium::frame_wants_ack(const Frame& frame) noexcept {
+  if (!frame.is_broadcast()) return true;
+  if (const auto* cp = std::get_if<msg::ControlPacket>(&frame.payload)) {
+    // Opportunistic control packets are link-layer anycast: broadcast
+    // addressing, but any eligible overhearer claims them with an ack.
+    return cp->mode == msg::ControlMode::kOpportunistic;
+  }
+  // Group control packets and ORPL downward data are always anycast.
+  return std::holds_alternative<msg::GroupControlPacket>(frame.payload) ||
+         std::holds_alternative<msg::OrplData>(frame.payload);
+}
+
+void RadioMedium::transmit(NodeId src, Frame frame) {
+  NodeState& st = nodes_[src];
+  assert(st.listener != nullptr && "transmit() before attach()");
+  assert(!st.txing && "MAC started a transmission while one is in flight");
+  st.txing = true;
+  st.locked_tx = 0;  // transmitting aborts any in-flight reception
+
+  const std::size_t mpdu = wire_size_bytes(frame);
+  const SimTime airtime = Cc2420Phy::airtime(mpdu);
+  const SimTime start = sim_->now();
+  const SimTime end = start + airtime;
+  const std::uint64_t id = next_tx_id_++;
+
+  ++total_transmissions_;
+  for (const auto& hook : transmit_hooks_) hook(src, frame, airtime);
+
+  // Lock every in-range idle listener to this transmission. Nodes already
+  // locked to an earlier frame keep that lock; this frame only interferes.
+  for (NodeId nb : gains_->neighbors_within(src)) {
+    NodeState& rx = nodes_[nb];
+    if (!rx.listening || rx.txing || rx.locked_tx != 0) continue;
+    rx.locked_tx = id;
+    rx.lock_start = start;
+  }
+
+  txs_.push_back(ActiveTx{id, src, std::move(frame), start, end, false});
+  sim_->schedule_at(end, [this, id] { finish_tx(id); });
+}
+
+RadioMedium::ActiveTx* RadioMedium::find_tx(std::uint64_t id) {
+  for (auto& tx : txs_) {
+    if (tx.id == id) return &tx;
+  }
+  return nullptr;
+}
+
+double RadioMedium::interference_mw(NodeId rx, std::uint64_t tx_id,
+                                    SimTime start, SimTime end) {
+  double mw = 0.0;
+  const double duration = static_cast<double>(end - start);
+  if (duration <= 0) return 0.0;
+  for (const auto& other : txs_) {
+    if (other.id == tx_id || other.src == rx) continue;
+    const SimTime ov_start = std::max(start, other.start);
+    const SimTime ov_end = std::min(end, other.end);
+    if (ov_end <= ov_start) continue;
+    const double frac =
+        static_cast<double>(ov_end - ov_start) / duration;
+    mw += dbm_to_mw(gains_->rssi_dbm(other.src, rx, config_.tx_power_dbm)) *
+          frac;
+  }
+  return mw;
+}
+
+void RadioMedium::finish_tx(std::uint64_t tx_id) {
+  ActiveTx* tx = find_tx(tx_id);
+  assert(tx != nullptr);
+  tx->done = true;
+  const SimTime now = sim_->now();
+  const std::size_t mpdu = wire_size_bytes(tx->frame);
+
+  // Resolve reception at every receiver locked to this transmission.
+  struct Acker {
+    NodeId id;
+    double rssi_at_src_dbm;
+  };
+  std::vector<Acker> ackers;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& rx = nodes_[i];
+    if (rx.locked_tx != tx_id) continue;
+    rx.locked_tx = 0;
+    const auto rx_id = static_cast<NodeId>(i);
+
+    const double signal_dbm =
+        gains_->rssi_dbm(tx->src, rx_id, config_.tx_power_dbm);
+    double noise_mw = dbm_to_mw(noise_[i].noise_dbm(now));
+    if (interferer_ != nullptr) {
+      noise_mw += dbm_to_mw(interferer_->power_at(rx_id, now));
+    }
+    const double interf_mw =
+        interference_mw(rx_id, tx_id, tx->start, tx->end);
+    const double sinr = signal_dbm - mw_to_dbm(noise_mw + interf_mw);
+    // Capture model: interference-limited receptions need to clear the
+    // co-channel rejection threshold (see MediumConfig).
+    if (interf_mw > noise_mw && sinr < config_.capture_threshold_db) continue;
+    const double prr =
+        Cc2420Phy::packet_reception_ratio(sinr, signal_dbm, mpdu);
+    if (!rng_.chance(prr)) continue;
+
+    const AckDecision decision =
+        rx.listener->on_frame(tx->frame, signal_dbm);
+    if (decision == AckDecision::kAcceptAndAck) {
+      ackers.push_back(Acker{
+          rx_id, gains_->rssi_dbm(rx_id, tx->src, config_.tx_power_dbm)});
+    }
+  }
+
+  const NodeId src = tx->src;
+  if (!frame_wants_ack(tx->frame)) {
+    nodes_[src].txing = false;
+    nodes_[src].listener->on_tx_done(false, kInvalidNode);
+    prune_history();
+    return;
+  }
+
+  // Acknowledgement window: turnaround + ack airtime. Multiple simultaneous
+  // ackers collide; the strongest captures only if it clears the sum of the
+  // others by the capture threshold, then must still pass the PRR draw.
+  bool acked = false;
+  NodeId acker_id = kInvalidNode;
+  if (!ackers.empty()) {
+    auto strongest = std::max_element(
+        ackers.begin(), ackers.end(), [](const Acker& a, const Acker& b) {
+          return a.rssi_at_src_dbm < b.rssi_at_src_dbm;
+        });
+    double others_mw = 0.0;
+    for (const auto& a : ackers) {
+      if (a.id != strongest->id) others_mw += dbm_to_mw(a.rssi_at_src_dbm);
+    }
+    double floor_mw = dbm_to_mw(noise_[src].noise_dbm(now));
+    if (interferer_ != nullptr) {
+      floor_mw += dbm_to_mw(interferer_->power_at(src, now));
+    }
+    const bool captured =
+        others_mw <= 0.0 ||
+        strongest->rssi_at_src_dbm - mw_to_dbm(others_mw) >=
+            config_.ack_capture_db;
+    if (captured) {
+      const double sinr =
+          strongest->rssi_at_src_dbm - mw_to_dbm(floor_mw + others_mw);
+      const double prr = Cc2420Phy::packet_reception_ratio(
+          sinr, strongest->rssi_at_src_dbm, Cc2420Phy::kAckMpduBytes);
+      if (rng_.chance(prr)) {
+        acked = true;
+        acker_id = strongest->id;
+      }
+    }
+  }
+
+  const SimTime ack_window =
+      Cc2420Phy::kTurnaroundTime + Cc2420Phy::ack_airtime();
+  sim_->schedule_in(ack_window, [this, src, acked, acker_id] {
+    nodes_[src].txing = false;
+    nodes_[src].listener->on_tx_done(acked, acker_id);
+  });
+  prune_history();
+}
+
+void RadioMedium::prune_history() {
+  // Keep finished transmissions long enough that any overlapping reception
+  // still in flight can integrate their interference.
+  constexpr SimTime kGrace = 50 * kMillisecond;
+  const SimTime now = sim_->now();
+  std::erase_if(txs_, [now](const ActiveTx& tx) {
+    return tx.done && tx.end + kGrace < now;
+  });
+}
+
+double RadioMedium::noise_dbm(NodeId id) {
+  double mw = dbm_to_mw(noise_[id].noise_dbm(sim_->now()));
+  if (interferer_ != nullptr) {
+    mw += dbm_to_mw(interferer_->power_at(id, sim_->now()));
+  }
+  return mw_to_dbm(mw);
+}
+
+double RadioMedium::channel_energy_dbm(NodeId id) {
+  double mw = dbm_to_mw(noise_dbm(id));
+  for (const auto& tx : txs_) {
+    if (tx.done || tx.src == id) continue;
+    mw += dbm_to_mw(gains_->rssi_dbm(tx.src, id, config_.tx_power_dbm));
+  }
+  return mw_to_dbm(mw);
+}
+
+}  // namespace telea

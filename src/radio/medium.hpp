@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "radio/interferer.hpp"
+#include "radio/noise.hpp"
+#include "radio/packet.hpp"
+#include "radio/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace telea {
+
+/// What a node that decoded a frame copy wants to do with it. TeleAdjusting's
+/// opportunistic forwarding hinges on kAcceptAndAck from nodes that are *not*
+/// the link-layer addressee (anycast): any eligible overhearer may claim the
+/// packet by acknowledging (paper Sec. III-C2).
+enum class AckDecision : std::uint8_t {
+  kIgnore,        // drop silently (still overheard it; caller already acted)
+  kAccept,        // consume, no acknowledgement (broadcast receptions)
+  kAcceptAndAck,  // consume and acknowledge the transmitter
+};
+
+/// Per-node interface the MAC implements to talk to the shared medium.
+class MediumListener {
+ public:
+  virtual ~MediumListener() = default;
+
+  /// A frame copy was decoded at this node. `rssi_dbm` is the received
+  /// power. The return value drives link-layer acknowledgement.
+  virtual AckDecision on_frame(const Frame& frame, double rssi_dbm) = 0;
+
+  /// This node's own transmission copy (and its ack window) completed.
+  /// `acked` is true when an acknowledgement was successfully decoded;
+  /// `acker` identifies who claimed the frame (valid only when acked).
+  virtual void on_tx_done(bool acked, NodeId acker) = 0;
+};
+
+struct MediumConfig {
+  double tx_power_dbm = -28.0;  // CC2420 PA level 2 (paper's testbed setting)
+  /// Candidate-receiver cutoff: links lossier than this are never considered
+  /// (guaranteed below sensitivity even at zero noise).
+  double max_loss_db = 0.0;  // 0 means derive from tx power and sensitivity
+  /// Extra margin (dB) past sensitivity for the neighbor cutoff derivation.
+  double cutoff_margin_db = 3.0;
+  /// Capture threshold for colliding acknowledgements: the strongest acker
+  /// must clear the sum of the others by this much to be decodable.
+  double ack_capture_db = 3.0;
+  /// Co-channel rejection: when structured interference (concurrent 802.15.4
+  /// transmissions) dominates the noise floor, the signal must clear the
+  /// floor by this margin or reception fails outright. The analytic DSSS BER
+  /// formula alone is far too forgiving for collisions (~0.9 PRR at 0 dB
+  /// SINR); the CC2420 datasheet puts co-channel rejection near 3 dB.
+  double capture_threshold_db = 3.0;
+};
+
+/// The shared wireless channel: packet-granularity SINR arbitration in the
+/// style of TOSSIM. A transmission locks every in-range listening radio at
+/// its start; at its end, each locked receiver samples CPM noise, sums the
+/// power of all overlapping transmissions (energy-weighted by overlap) plus
+/// WiFi interference, and draws reception from the CC2420 PRR curve.
+class RadioMedium {
+ public:
+  RadioMedium(Simulator& sim, const LinkGainTable& gains,
+              const CpmNoiseModel& noise, const MediumConfig& config,
+              std::uint64_t seed);
+
+  RadioMedium(const RadioMedium&) = delete;
+  RadioMedium& operator=(const RadioMedium&) = delete;
+
+  /// Registers the MAC for `id`. Must be called for every node before use.
+  void attach(NodeId id, MediumListener& listener);
+
+  /// Optional bursty interferer (WiFi on the paper's channel 19).
+  void set_interferer(WifiInterferer* interferer) { interferer_ = interferer; }
+
+  /// Radio on/off (LPL wake/sleep). A radio that turns on mid-transmission
+  /// misses that copy — exactly why LPL senders repeat.
+  void set_listening(NodeId id, bool listening);
+  [[nodiscard]] bool is_listening(NodeId id) const {
+    return nodes_[id].listening;
+  }
+
+  /// Starts transmitting `frame` from `src`. The MAC must not call this again
+  /// for `src` until its on_tx_done fires. Unicast/anycast frames include an
+  /// acknowledgement window after the frame airtime.
+  void transmit(NodeId src, Frame frame);
+
+  /// True while `src` is mid-transmission (including the ack window).
+  [[nodiscard]] bool transmitting(NodeId src) const {
+    return nodes_[src].txing;
+  }
+
+  /// True while `id`'s radio is locked onto an in-flight frame.
+  [[nodiscard]] bool receiving(NodeId id) const {
+    return nodes_[id].locked_tx != 0;
+  }
+
+  /// Instantaneous channel energy at `id` (noise + all active transmissions
+  /// + interferer) for CCA.
+  [[nodiscard]] double channel_energy_dbm(NodeId id);
+
+  /// Noise + interference only (no transmissions) — receiver noise floor.
+  [[nodiscard]] double noise_dbm(NodeId id);
+
+  /// Whether an acknowledgement window follows this frame (unicast frames
+  /// and opportunistic control packets; plain broadcasts are unacked).
+  [[nodiscard]] static bool frame_wants_ack(const Frame& frame) noexcept;
+
+  using TransmitHook =
+      std::function<void(NodeId src, const Frame& frame, SimTime airtime)>;
+  /// Stats hook invoked once per transmitted copy. Replaces all hooks.
+  void set_transmit_hook(TransmitHook hook) {
+    transmit_hooks_.clear();
+    if (hook) transmit_hooks_.push_back(std::move(hook));
+  }
+  /// Adds a hook alongside any existing ones (tracing + metrics coexist).
+  void add_transmit_hook(TransmitHook hook) {
+    if (hook) transmit_hooks_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] std::uint64_t total_transmissions() const noexcept {
+    return total_transmissions_;
+  }
+
+  [[nodiscard]] const LinkGainTable& gains() const noexcept { return *gains_; }
+  [[nodiscard]] double tx_power_dbm() const noexcept {
+    return config_.tx_power_dbm;
+  }
+
+ private:
+  struct ActiveTx {
+    std::uint64_t id;
+    NodeId src;
+    Frame frame;
+    SimTime start;
+    SimTime end;
+    bool done;
+  };
+
+  struct NodeState {
+    MediumListener* listener = nullptr;
+    bool listening = false;
+    bool txing = false;
+    std::uint64_t locked_tx = 0;  // 0 = not locked
+    SimTime lock_start = 0;
+  };
+
+  void finish_tx(std::uint64_t tx_id);
+  [[nodiscard]] ActiveTx* find_tx(std::uint64_t id);
+  void prune_history();
+
+  /// Mean interference power (mW) at `rx` over [start,end), excluding tx_id.
+  [[nodiscard]] double interference_mw(NodeId rx, std::uint64_t tx_id,
+                                       SimTime start, SimTime end);
+
+  Simulator* sim_;
+  const LinkGainTable* gains_;
+  MediumConfig config_;
+  std::vector<NodeState> nodes_;
+  std::vector<CpmNoiseModel::Generator> noise_;
+  std::vector<ActiveTx> txs_;  // ongoing + recently finished (for overlap)
+  WifiInterferer* interferer_ = nullptr;
+  Pcg32 rng_;
+  std::uint64_t next_tx_id_ = 1;
+  std::uint64_t total_transmissions_ = 0;
+  std::vector<TransmitHook> transmit_hooks_;
+};
+
+}  // namespace telea

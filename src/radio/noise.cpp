@@ -1,0 +1,108 @@
+#include "radio/noise.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace telea {
+
+std::vector<std::int8_t> generate_heavy_noise_trace(
+    const SyntheticTraceConfig& config, std::uint64_t seed) {
+  Pcg32 rng(seed, /*stream=*/0xC0FFEEULL);
+  std::vector<std::int8_t> trace;
+  trace.reserve(config.length);
+  bool in_burst = false;
+  for (std::size_t i = 0; i < config.length; ++i) {
+    if (in_burst) {
+      if (rng.chance(config.p_leave_burst)) in_burst = false;
+    } else {
+      if (rng.chance(config.p_enter_burst)) in_burst = true;
+    }
+    const double mean = in_burst ? config.burst_mean_dbm : config.floor_mean_dbm;
+    const double sigma = in_burst ? config.burst_sigma_db : config.floor_sigma_db;
+    const double v =
+        std::clamp(rng.normal(mean, sigma), config.min_dbm, config.max_dbm);
+    trace.push_back(static_cast<std::int8_t>(std::lround(v)));
+  }
+  return trace;
+}
+
+CpmNoiseModel::CpmNoiseModel(const std::vector<std::int8_t>& trace,
+                             std::size_t history)
+    : history_(std::max<std::size_t>(history, 1)) {
+  assert(trace.size() > history_);
+  marginal_ = trace;
+  double sum = 0;
+  for (std::int8_t v : trace) sum += v;
+  marginal_mean_ = sum / static_cast<double>(trace.size());
+
+  std::vector<std::int8_t> recent(history_);
+  for (std::size_t i = history_; i < trace.size(); ++i) {
+    std::copy(trace.begin() + static_cast<std::ptrdiff_t>(i - history_),
+              trace.begin() + static_cast<std::ptrdiff_t>(i), recent.begin());
+    table_[pattern_hash(recent)].push_back(trace[i]);
+  }
+}
+
+std::uint64_t CpmNoiseModel::pattern_hash(
+    const std::vector<std::int8_t>& recent) noexcept {
+  // FNV-1a over the quantized readings; collisions merely merge similar
+  // conditional distributions, which CPM tolerates by construction.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::int8_t v : recent) {
+    h ^= static_cast<std::uint8_t>(v);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::int8_t CpmNoiseModel::sample_next(const std::vector<std::int8_t>& recent,
+                                       Pcg32& rng) const {
+  const auto it = table_.find(pattern_hash(recent));
+  if (it == table_.end() || it->second.empty()) return sample_marginal(rng);
+  const auto& bag = it->second;
+  return bag[rng.uniform(static_cast<std::uint32_t>(bag.size()))];
+}
+
+std::int8_t CpmNoiseModel::sample_marginal(Pcg32& rng) const {
+  return marginal_[rng.uniform(static_cast<std::uint32_t>(marginal_.size()))];
+}
+
+CpmNoiseModel::Generator::Generator(const CpmNoiseModel& model,
+                                    std::uint64_t seed, std::uint64_t stream)
+    : model_(&model),
+      rng_(seed, stream),
+      recent_(model.history()),
+      current_dbm_(model.marginal_mean_dbm()) {}
+
+void CpmNoiseModel::Generator::advance_one() {
+  const std::int8_t next = model_->sample_next(recent_, rng_);
+  std::rotate(recent_.begin(), recent_.begin() + 1, recent_.end());
+  recent_.back() = next;
+  current_dbm_ = next;
+}
+
+double CpmNoiseModel::Generator::noise_dbm(SimTime t) {
+  const SimTime target_step = t / kStep;
+  if (!primed_) {
+    // Seed the history from the marginal so the first readings are plausible.
+    for (auto& r : recent_) r = model_->sample_marginal(rng_);
+    current_dbm_ = recent_.back();
+    current_step_ = target_step;
+    primed_ = true;
+    return current_dbm_;
+  }
+  if (target_step <= current_step_) return current_dbm_;
+  SimTime gap = target_step - current_step_;
+  if (gap > kMaxCatchUpSteps) {
+    // Far-apart queries are decorrelated anyway: restart from the marginal
+    // rather than walking the chain for an unbounded number of steps.
+    for (auto& r : recent_) r = model_->sample_marginal(rng_);
+    gap = 1;
+  }
+  for (SimTime i = 0; i < gap; ++i) advance_one();
+  current_step_ = target_step;
+  return current_dbm_;
+}
+
+}  // namespace telea

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+
+/// Synthetic substitute for TOSSIM's `meyer-heavy.txt` noise trace (which is
+/// not distributable here — see DESIGN.md §4). Statistically similar shape:
+/// a Gaussian noise floor around -98 dBm with a two-state Markov burst
+/// process lifting readings into the -80…-45 dBm band, producing the
+/// heavy-tailed, temporally-correlated noise the paper's simulations rely on.
+struct SyntheticTraceConfig {
+  double floor_mean_dbm = -98.0;
+  double floor_sigma_db = 1.5;
+  double burst_mean_dbm = -72.0;
+  double burst_sigma_db = 9.0;
+  double p_enter_burst = 0.02;   // per reading
+  double p_leave_burst = 0.25;   // per reading
+  double min_dbm = -105.0;
+  double max_dbm = -40.0;
+  std::size_t length = 20000;    // readings
+};
+
+/// Generates a meyer-heavy-like trace of quantized dBm readings.
+[[nodiscard]] std::vector<std::int8_t> generate_heavy_noise_trace(
+    const SyntheticTraceConfig& config, std::uint64_t seed);
+
+/// CPM (Closest-Pattern Matching) noise model, after Lee, Cerpa & Levis,
+/// "Improving wireless simulation through noise modeling" (IPSN'07) — the
+/// model TOSSIM uses and the paper adopts (Sec. IV-A1).
+///
+/// Training builds a conditional probability table: a hash of the last
+/// `history` quantized readings maps to the empirical distribution of the
+/// next reading. Generation walks the chain, falling back to the marginal
+/// distribution for patterns never observed in training. This reproduces the
+/// burstiness and temporal correlation of measured noise, which independent
+/// Gaussian sampling cannot.
+class CpmNoiseModel {
+ public:
+  /// Trains the table from a trace of quantized dBm readings.
+  CpmNoiseModel(const std::vector<std::int8_t>& trace, std::size_t history = 3);
+
+  /// A generator: an independent random walk over the trained model. Each
+  /// node owns one so noise processes across nodes are uncorrelated (as in
+  /// TOSSIM, where each node gets its own CPM instance).
+  class Generator {
+   public:
+    Generator(const CpmNoiseModel& model, std::uint64_t seed,
+              std::uint64_t stream);
+
+    /// Noise in dBm at virtual time `t`. Advances the underlying process in
+    /// fixed steps; queries far apart are decorrelated by re-seeding from the
+    /// marginal (bounded catch-up keeps cost O(1) per query).
+    [[nodiscard]] double noise_dbm(SimTime t);
+
+    /// The process step period (how long one reading is "held").
+    [[nodiscard]] SimTime step_period() const noexcept { return kStep; }
+
+   private:
+    static constexpr SimTime kStep = 2 * kMillisecond;
+    static constexpr std::size_t kMaxCatchUpSteps = 32;
+
+    void advance_one();
+
+    const CpmNoiseModel* model_;
+    Pcg32 rng_;
+    std::vector<std::int8_t> recent_;  // last `history` readings
+    double current_dbm_;
+    SimTime current_step_ = 0;
+    bool primed_ = false;
+  };
+
+  [[nodiscard]] Generator make_generator(std::uint64_t seed,
+                                         std::uint64_t stream) const {
+    return Generator(*this, seed, stream);
+  }
+
+  [[nodiscard]] std::size_t history() const noexcept { return history_; }
+
+  /// Mean of the training trace (useful as a static noise floor estimate).
+  [[nodiscard]] double marginal_mean_dbm() const noexcept {
+    return marginal_mean_;
+  }
+
+ private:
+  friend class Generator;
+
+  [[nodiscard]] static std::uint64_t pattern_hash(
+      const std::vector<std::int8_t>& recent) noexcept;
+
+  /// Samples the next reading given the recent pattern.
+  [[nodiscard]] std::int8_t sample_next(const std::vector<std::int8_t>& recent,
+                                        Pcg32& rng) const;
+
+  /// Samples from the marginal distribution.
+  [[nodiscard]] std::int8_t sample_marginal(Pcg32& rng) const;
+
+  std::size_t history_;
+  // pattern hash -> all observed successors (sampling uniformly from the
+  // successor bag reproduces the empirical conditional distribution).
+  std::unordered_map<std::uint64_t, std::vector<std::int8_t>> table_;
+  std::vector<std::int8_t> marginal_;
+  double marginal_mean_ = -98.0;
+};
+
+}  // namespace telea

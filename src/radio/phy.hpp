@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace telea {
+
+/// Analytic model of the CC2420 radio (IEEE 802.15.4, 2.4 GHz O-QPSK DSSS),
+/// the radio on both the MicaZ motes the paper simulates and the TelosB
+/// motes on its testbed. Constants follow the CC2420 datasheet; the
+/// SINR→BER→PRR curve is the standard 802.15.4 analytic model (as used by
+/// TOSSIM's closed-form PHY and by Zuniga & Krishnamachari's link-layer
+/// model).
+class Cc2420Phy {
+ public:
+  static constexpr double kBitRateBps = 250'000.0;
+  static constexpr double kSensitivityDbm = -95.0;  // datasheet typical -95
+  /// PHY synchronization header: 4B preamble + 1B SFD + 1B length.
+  static constexpr std::size_t kPhyHeaderBytes = 6;
+  /// Hardware ACK frame: 5-byte MPDU + PHY header.
+  static constexpr std::size_t kAckMpduBytes = 5;
+  /// Radio turnaround (rx->tx) before an ACK is sent: 192 us (12 symbols).
+  static constexpr SimTime kTurnaroundTime = 192;
+
+  // Typical CC2420 current draw (datasheet, 3V supply), used by the duty
+  // cycle / energy accounting in the MAC layer.
+  static constexpr double kRxCurrentMa = 18.8;
+  static constexpr double kTxCurrentMa0Dbm = 17.4;
+  static constexpr double kSleepCurrentUa = 0.02;
+
+  /// Airtime of a frame whose MPDU is `mpdu_bytes` long, including the PHY
+  /// synchronization header.
+  [[nodiscard]] static constexpr SimTime airtime(std::size_t mpdu_bytes) noexcept {
+    const double bits = static_cast<double>((kPhyHeaderBytes + mpdu_bytes) * 8);
+    return static_cast<SimTime>(bits / kBitRateBps * 1e6);
+  }
+
+  [[nodiscard]] static constexpr SimTime ack_airtime() noexcept {
+    return airtime(kAckMpduBytes);
+  }
+
+  /// Transmit power in dBm for a CC2420 PA_LEVEL register setting (0..31).
+  /// The datasheet tabulates the even levels {31:0, 27:-1, 23:-3, 19:-5,
+  /// 15:-7, 11:-10, 7:-15, 3:-25}; intermediate levels are interpolated.
+  /// The paper uses level 2 (testbed) and 31 (time-sync broadcaster).
+  [[nodiscard]] static double tx_power_dbm(int pa_level) noexcept;
+
+  /// Bit error rate at the given SINR (dB) for 802.15.4 O-QPSK with DSSS:
+  ///   BER = (8/15)·(1/16)·Σ_{k=2..16} (-1)^k·C(16,k)·exp(20·γ·(1/k − 1))
+  /// where γ is the linear SINR.
+  [[nodiscard]] static double bit_error_rate(double sinr_db) noexcept;
+
+  /// Packet reception ratio for an `mpdu_bytes`-long frame at `sinr_db`,
+  /// gated on the received power clearing the radio sensitivity floor.
+  [[nodiscard]] static double packet_reception_ratio(double sinr_db,
+                                                     double rssi_dbm,
+                                                     std::size_t mpdu_bytes) noexcept;
+};
+
+}  // namespace telea

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace telea {
+
+EventHandle EventQueue::schedule(SimTime when, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(cb)});
+  live_.insert(seq);
+  return EventHandle{seq};
+}
+
+void EventQueue::cancel(EventHandle& handle) {
+  if (!handle.valid()) return;
+  // erase() returning 0 means the event already fired or was cancelled;
+  // both are harmless no-ops by contract.
+  live_.erase(handle.id_);
+  handle.reset();
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  skim();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  assert(!heap_.empty());
+  // priority_queue::top() is const, so the callback is copied out; a
+  // std::function copy is cheap relative to the event work it wraps.
+  Fired fired{heap_.top().time, heap_.top().callback};
+  live_.erase(heap_.top().seq);
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  live_.clear();
+}
+
+}  // namespace telea

@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+
+namespace telea {
+
+bool Simulator::step(SimTime until) {
+  if (queue_.empty()) return false;
+  if (queue_.next_time() > until) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.callback();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t executed = 0;
+  while (step(until)) ++executed;
+  // Even with no event exactly at `until`, the clock should land there so
+  // callers can continue from a well-defined point.
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t executed = 0;
+  while (step(std::numeric_limits<SimTime>::max())) ++executed;
+  return executed;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0;
+}
+
+}  // namespace telea

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace telea {
+
+/// The discrete-event simulation kernel: a virtual clock plus an event queue.
+/// Components schedule callbacks at absolute or relative virtual times; run()
+/// advances the clock event-by-event. Single-threaded and deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` after `delay` from now.
+  EventHandle schedule_in(SimTime delay, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `when`; times in the past fire
+  /// immediately-next (clamped to now).
+  EventHandle schedule_at(SimTime when, EventQueue::Callback cb) {
+    return queue_.schedule(when < now_ ? now_ : when, std::move(cb));
+  }
+
+  void cancel(EventHandle& handle) { queue_.cancel(handle); }
+
+  /// Runs until the queue drains or the clock passes `until` (events at
+  /// exactly `until` still fire). Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Executes at most one pending event. Returns false when the queue is
+  /// empty or the next event is beyond `until`.
+  bool step(SimTime until);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+  /// Drops all pending events and resets the clock to zero.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+};
+
+}  // namespace telea

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace telea {
+
+/// Simulation time in microseconds since experiment start. 64 bits give
+/// ~585,000 years of range — overflow is not a practical concern.
+using SimTime = std::uint64_t;
+
+/// Signed durations for arithmetic that can go negative (offsets, jitter).
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+namespace time_literals {
+constexpr SimTime operator""_us(unsigned long long v) { return v; }
+constexpr SimTime operator""_ms(unsigned long long v) { return v * kMillisecond; }
+constexpr SimTime operator""_s(unsigned long long v) { return v * kSecond; }
+constexpr SimTime operator""_min(unsigned long long v) { return v * kMinute; }
+constexpr SimTime operator""_h(unsigned long long v) { return v * kHour; }
+}  // namespace time_literals
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace telea

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace telea {
+
+/// Streaming summary statistics (Welford's online algorithm for variance).
+class SummaryStats {
+ public:
+  void add(double value) noexcept {
+    ++n_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : 0.0;
+  }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const SummaryStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    const double new_mean =
+        mean_ + delta * static_cast<double>(other.n_) / total;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ = new_mean;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Values grouped by an integer key (e.g. per-hop-count statistics, the
+/// x-axis of most of the paper's figures).
+class GroupedStats {
+ public:
+  void add(int key, double value) { groups_[key].add(value); }
+
+  [[nodiscard]] const std::map<int, SummaryStats>& groups() const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
+
+  void merge(const GroupedStats& other) {
+    for (const auto& [k, s] : other.groups_) groups_[k].merge(s);
+  }
+
+ private:
+  std::map<int, SummaryStats> groups_;
+};
+
+/// Empirical CDF over collected samples.
+class Cdf {
+ public:
+  void add(double value) { samples_.push_back(value); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const {
+    if (samples_.empty()) return 0.0;
+    sort();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// Value at quantile q in [0,1].
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    sort();
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace telea

@@ -1,0 +1,85 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+
+namespace telea {
+
+std::string TextTable::fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+namespace {
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csv_field(cells[i]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = render_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto fit = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  fit(headers_);
+  for (const auto& r : rows_) fit(r);
+
+  std::string out;
+  auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out += "| ";
+      out += c;
+      out.append(widths[i] - c.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit(headers_);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out += "|";
+    out.append(widths[i] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+}  // namespace telea

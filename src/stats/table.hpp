@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace telea {
+
+/// Fixed-width text table renderer for the benchmark binaries: prints the
+/// same rows/series the paper's tables and figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  TextTable& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Renders with column widths fitted to content.
+  [[nodiscard]] std::string render() const;
+
+  void print() const { std::fputs(render().c_str(), stdout); }
+
+  /// RFC-4180-style CSV rendering (quotes fields containing separators).
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Writes the CSV rendering to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  static std::string fmt(double v, int decimals = 2);
+  static std::string fmt_pct(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace telea

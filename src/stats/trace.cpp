@@ -1,0 +1,96 @@
+#include "stats/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace telea {
+
+const char* trace_event_name(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::kTransmit: return "transmit";
+    case TraceEvent::kControlTx: return "control_tx";
+    case TraceEvent::kParentChange: return "parent_change";
+    case TraceEvent::kCodeChange: return "code_change";
+    case TraceEvent::kKill: return "kill";
+    case TraceEvent::kRevive: return "revive";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void Tracer::record(SimTime time, NodeId node, TraceEvent event,
+                    std::uint64_t a, std::uint64_t b) {
+  ring_[head_] = TraceRecord{time, node, event, a, b};
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Tracer::by_event(TraceEvent event) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : snapshot()) {
+    if (r.event == event) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Tracer::count(TraceEvent event) const {
+  std::size_t n = 0;
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (ring_[(start + i) % ring_.size()].event == event) ++n;
+  }
+  return n;
+}
+
+std::vector<NodeId> Tracer::control_path(std::uint32_t seqno) const {
+  std::vector<NodeId> path;
+  for (const auto& r : snapshot()) {
+    if (r.event != TraceEvent::kControlTx || r.a != seqno) continue;
+    if (path.empty() || path.back() != r.node) path.push_back(r.node);
+  }
+  return path;
+}
+
+std::string Tracer::render_csv() const {
+  std::string out = "time_s,node,event,a,b\n";
+  char buf[128];
+  for (const auto& r : snapshot()) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%u,%s,%llu,%llu\n",
+                  to_seconds(r.time), r.node, trace_event_name(r.event),
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b));
+    out += buf;
+  }
+  return out;
+}
+
+bool Tracer::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = render_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace telea

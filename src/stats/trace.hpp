@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace telea {
+
+/// Structured event kinds a deployment would log over serial — the
+/// simulator-side equivalent of the paper's testbed instrumentation
+/// (Sec. IV-B1: "each node records ... and periodically sends these
+/// counters to the controller through serial port").
+enum class TraceEvent : std::uint8_t {
+  kTransmit,      // a = frame kind index, b = link destination
+  kControlTx,     // a = control seqno, b = expected relay
+  kParentChange,  // a = old parent, b = new parent
+  kCodeChange,    // a = new code length
+  kKill,
+  kRevive,
+};
+
+[[nodiscard]] const char* trace_event_name(TraceEvent e) noexcept;
+
+struct TraceRecord {
+  SimTime time = 0;
+  NodeId node = kInvalidNode;
+  TraceEvent event{};
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Bounded in-memory event trace with CSV export and simple analysis.
+/// Recording is cheap (append to a preallocated ring); when the capacity is
+/// exceeded the oldest records are dropped and `dropped()` counts them.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  void record(SimTime time, NodeId node, TraceEvent event, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Records in chronological order (oldest retained first).
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Records of one event type, chronological.
+  [[nodiscard]] std::vector<TraceRecord> by_event(TraceEvent event) const;
+
+  /// Number of records of one event type (cheaper than by_event).
+  [[nodiscard]] std::size_t count(TraceEvent event) const;
+
+  /// The realized relay sequence of a control packet: every node that
+  /// transmitted it, in transmission order (duplicates collapsed).
+  [[nodiscard]] std::vector<NodeId> control_path(std::uint32_t seqno) const;
+
+  /// CSV export: time_s,node,event,a,b.
+  [[nodiscard]] std::string render_csv() const;
+  bool write_csv(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace telea

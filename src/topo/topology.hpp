@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/propagation.hpp"
+#include "util/ids.hpp"
+
+namespace telea {
+
+/// A generated deployment: node positions (index == NodeId; the sink is node
+/// 0 by convention) plus the radio parameters that make the scenario behave
+/// like the paper's ("high gain" vs "low gain" fields, testbed power level).
+struct Topology {
+  std::string name;
+  std::vector<Position> positions;
+  PathLossConfig path_loss{};
+  double tx_power_dbm = 0.0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions.size(); }
+};
+
+/// Paper Sec. IV-A1, "Tight-grid": 225 nodes randomly placed one per cell of
+/// a 15×15 grid over a 200m×200m field, high link gains, sink at the center.
+[[nodiscard]] Topology make_tight_grid(std::uint64_t seed);
+
+/// Paper Sec. IV-A1, "Sparse-linear": 225 nodes in a 5×45 grid over a
+/// 60m×600m field, low link gains, sink at one endpoint of the field.
+[[nodiscard]] Topology make_sparse_linear(std::uint64_t seed);
+
+/// Paper Sec. IV-B1: the indoor testbed — 40 TelosB nodes (22 on a 2×11
+/// board, 18 scattered around it), CC2420 power level 2, up to 6 hops.
+[[nodiscard]] Topology make_indoor_testbed(std::uint64_t seed);
+
+/// Uniform-random deployment over a square field (general-purpose scenarios
+/// and property tests).
+[[nodiscard]] Topology make_uniform_random(std::size_t nodes, double side_m,
+                                           std::uint64_t seed);
+
+/// A straight line of `nodes` nodes with fixed spacing — the minimal
+/// multi-hop scenario used by unit and integration tests.
+[[nodiscard]] Topology make_line(std::size_t nodes, double spacing_m);
+
+/// Whether every node can reach the sink over links whose mean path loss
+/// stays within the reception budget plus `margin_db` (negative margin
+/// demands headroom). Shadowing is included since it is part of the
+/// topology's gain table.
+[[nodiscard]] bool is_connected(const Topology& topo, std::uint64_t seed,
+                                double margin_db = -3.0);
+
+/// Uniform-random deployment that is guaranteed connected: retries seeds
+/// (derived from `seed`) until `is_connected` holds. For tests and
+/// experiments that must not be confounded by partitioned fields.
+[[nodiscard]] Topology make_connected_random(std::size_t nodes, double side_m,
+                                             std::uint64_t seed);
+
+}  // namespace telea

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/ids.hpp"
+
+namespace telea {
+
+/// Fixed-size Bloom filter over node ids — the space-efficient sub-DODAG
+/// membership representation ORPL propagates (Duquennoy et al., SenSys'13).
+/// Deliberately small (default 64 bits, 2 hashes, like ORPL's per-packet
+/// budget): the false positives that come with that size are exactly the
+/// weakness the TeleAdjusting paper calls out ("the inherent false positive
+/// of bloom filter can incur multiple rounds of ineffectual transmissions").
+template <std::size_t Bits = 64, unsigned Hashes = 2>
+class BloomFilter {
+  static_assert(Bits % 64 == 0, "whole words only");
+
+ public:
+  void insert(NodeId id) noexcept {
+    for (unsigned h = 0; h < Hashes; ++h) set(index(id, h));
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const noexcept {
+    for (unsigned h = 0; h < Hashes; ++h) {
+      if (!get(index(id, h))) return false;
+    }
+    return true;
+  }
+
+  /// Union with another filter (a parent absorbing a child's sub-DODAG).
+  void merge(const BloomFilter& other) noexcept {
+    for (std::size_t w = 0; w < kWords; ++w) words_[w] |= other.words_[w];
+  }
+
+  void clear() noexcept { words_.fill(0); }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of set bits (load indicator: false-positive rate grows with it).
+  [[nodiscard]] unsigned popcount() const noexcept {
+    unsigned n = 0;
+    for (auto w : words_) n += static_cast<unsigned>(__builtin_popcountll(w));
+    return n;
+  }
+
+  [[nodiscard]] static constexpr std::size_t bits() noexcept { return Bits; }
+
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) noexcept {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr std::size_t kWords = Bits / 64;
+
+  [[nodiscard]] static std::size_t index(NodeId id, unsigned h) noexcept {
+    // Two independent 64-bit mixes (splitmix-style) reduced mod Bits.
+    std::uint64_t x = (static_cast<std::uint64_t>(id) << 8) | (h + 1);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % Bits);
+  }
+
+  void set(std::size_t bit) noexcept {
+    words_[bit / 64] |= 1ULL << (bit % 64);
+  }
+  [[nodiscard]] bool get(std::size_t bit) const noexcept {
+    return (words_[bit / 64] >> (bit % 64)) & 1ULL;
+  }
+
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+/// The size ORPL-lite uses on the wire (8 bytes).
+using OrplBloom = BloomFilter<64, 2>;
+
+}  // namespace telea

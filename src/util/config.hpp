@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telea {
+
+/// Typed key=value configuration, parsed from command-line style tokens
+/// ("key=value") and/or simple config files (one pair per line, `#`
+/// comments). Backs the `telea_sim` scenario tool so downstream users can
+/// run experiments without writing C++.
+class Config {
+ public:
+  /// Parses "key=value" tokens; tokens without '=' are collected as
+  /// positional arguments. Later values override earlier ones.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses a config file. Returns nullopt when the file cannot be read or
+  /// a line is malformed (error details via `error()` on the partial
+  /// object are not provided — fail fast instead).
+  static std::optional<Config> from_file(const std::string& path);
+
+  /// Merges `other` over this config (other wins on conflicts).
+  void merge(const Config& other);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string default_value = "") const;
+  /// Typed getters return the default when the key is absent *or*
+  /// unparsable; `get_*_checked` variants return nullopt on bad syntax so
+  /// callers can reject typos loudly.
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t default_value = 0) const;
+  [[nodiscard]] double get_double(std::string_view key,
+                                  double default_value = 0.0) const;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool default_value = false) const;
+
+  [[nodiscard]] std::optional<std::int64_t> get_int_checked(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_double_checked(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<bool> get_bool_checked(
+      std::string_view key) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// All keys, sorted — for help/diagnostic output.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Keys that were set but never read — catches misspelled options.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace telea

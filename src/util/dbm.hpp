@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cmath>
+
+namespace telea {
+
+/// Conversions between the logarithmic (dBm) and linear (milliwatt) power
+/// domains. All radio-stack arithmetic that sums powers (interference, noise)
+/// must happen in milliwatts; everything stored or configured is in dBm.
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  // Clamp to a floor far below thermal noise instead of returning -inf so
+  // downstream subtraction stays finite.
+  constexpr double kFloorMw = 1e-18;
+  return 10.0 * std::log10(mw < kFloorMw ? kFloorMw : mw);
+}
+
+/// Sum of two powers expressed in dBm, returned in dBm.
+[[nodiscard]] inline double dbm_add(double a_dbm, double b_dbm) noexcept {
+  return mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm));
+}
+
+/// Signal-to-interference-plus-noise ratio in dB.
+[[nodiscard]] inline double sinr_db(double signal_dbm,
+                                    double interference_noise_dbm) noexcept {
+  return signal_dbm - interference_noise_dbm;
+}
+
+[[nodiscard]] inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+}  // namespace telea

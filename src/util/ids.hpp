@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace telea {
+
+/// Node identifier within a deployment. The sink is conventionally node 0
+/// (TinyOS's TOS_NODE_ID convention with the root at id 0).
+using NodeId = std::uint16_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr NodeId kBroadcastNode = kInvalidNode - 1;
+inline constexpr NodeId kSinkNode = 0;
+
+}  // namespace telea

@@ -1,0 +1,31 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace telea {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+namespace {
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view tag,
+                   std::string_view message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace telea

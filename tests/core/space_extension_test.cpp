@@ -1,0 +1,80 @@
+// Space extension (Sec. III-B6): a parent that runs out of positions extends
+// its bit space by one, keeps every allocated position, and the new codes
+// ripple down the tree through TeleAdjusting beacons.
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig line_config(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(nodes, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kTele;
+  return cfg;
+}
+
+TEST(SpaceExtension, ExtensionRipplesDownTheLine) {
+  Network net(line_config(4, 61));
+  net.start();
+  net.run_for(4_min);
+
+  auto& a0 = net.sink().tele()->addressing();
+  auto& a1 = net.node(1).tele()->addressing();
+  auto& a2 = net.node(2).tele()->addressing();
+  ASSERT_TRUE(a1.has_code() && a2.has_code());
+  const std::uint8_t old_bits = a0.space_bits();
+  const PathCode old_code_1 = a1.code();
+  const PathCode old_code_2 = a2.code();
+
+  // Exhaust the sink's space with synthetic position requests.
+  const std::uint32_t capacity = (1u << old_bits) - 1;
+  for (std::uint32_t i = 0; i <= capacity + 1; ++i) {
+    a0.handle_position_request(static_cast<NodeId>(600 + i), true);
+  }
+  ASSERT_GT(a0.space_bits(), old_bits);
+
+  // Let the extension beacons propagate down two levels.
+  net.run_for(2_min);
+
+  // Node 1's position is unchanged, its code longer (wider field).
+  const auto* entry = a0.children().find(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(a1.code().size(), a0.code().size() + a0.space_bits());
+  EXPECT_NE(a1.code(), old_code_1);
+  // The change propagated to node 2 (its prefix is node 1's new code).
+  EXPECT_TRUE(a1.code().is_prefix_of(a2.code()));
+  EXPECT_NE(a2.code(), old_code_2);
+  // Old codes retained for in-flight control (Sec. III-B6).
+  EXPECT_EQ(a1.old_code(), old_code_1);
+}
+
+TEST(SpaceExtension, ControlStillDeliversAcrossCodeChange) {
+  Network net(line_config(4, 62));
+  net.start();
+  net.run_for(4_min);
+
+  auto& a0 = net.sink().tele()->addressing();
+  const std::uint32_t capacity = (1u << a0.space_bits()) - 1;
+  for (std::uint32_t i = 0; i <= capacity; ++i) {
+    a0.handle_position_request(static_cast<NodeId>(700 + i), true);
+  }
+  net.run_for(2_min);  // codes settle again
+
+  bool delivered = false;
+  net.node(3).tele()->on_control_delivered =
+      [&delivered](const msg::ControlPacket&, bool) { delivered = true; };
+  const auto& code = net.node(3).tele()->addressing().code();
+  net.sink().tele()->send_control(3, code, 1);
+  net.run_for(1_min);
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace telea

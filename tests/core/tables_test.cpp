@@ -1,0 +1,144 @@
+#include "core/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace telea {
+namespace {
+
+PathCode code(const char* s) { return BitString::from_string_unchecked(s); }
+
+TEST(ChildTable, UpsertAndFind) {
+  ChildTable t;
+  t.upsert(5, 1, code("001"));
+  ASSERT_NE(t.find(5), nullptr);
+  EXPECT_EQ(t.find(5)->position, 1u);
+  EXPECT_EQ(t.find(5)->new_code.to_string(), "001");
+  EXPECT_FALSE(t.find(5)->confirmed);
+  EXPECT_EQ(t.find(99), nullptr);
+}
+
+TEST(ChildTable, UpsertPreservesOldCode) {
+  ChildTable t;
+  t.upsert(5, 1, code("001"));
+  t.find(5)->confirmed = true;
+  t.upsert(5, 2, code("010"));
+  EXPECT_EQ(t.find(5)->old_code.to_string(), "001");
+  EXPECT_EQ(t.find(5)->new_code.to_string(), "010");
+  EXPECT_FALSE(t.find(5)->confirmed);  // reallocation needs re-confirmation
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ChildTable, PositionTaken) {
+  ChildTable t;
+  t.upsert(5, 3, code("0011"));
+  EXPECT_TRUE(t.position_taken(3));
+  EXPECT_FALSE(t.position_taken(4));
+}
+
+TEST(ChildTable, FreePositionScansFromFirst) {
+  ChildTable t;
+  t.upsert(1, 1, code("001"));
+  t.upsert(2, 2, code("010"));
+  auto free = t.free_position(2, 1);  // 2-bit space: positions 1..3
+  ASSERT_TRUE(free.has_value());
+  EXPECT_EQ(*free, 3u);
+  t.upsert(3, 3, code("011"));
+  EXPECT_FALSE(t.free_position(2, 1).has_value());
+  // A wider space opens new slots.
+  EXPECT_TRUE(t.free_position(3, 1).has_value());
+}
+
+TEST(ChildTable, RemoveErasesEntry) {
+  ChildTable t;
+  t.upsert(5, 1, code("001"));
+  t.remove(5);
+  EXPECT_EQ(t.find(5), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ChildTable, RederiveCodesAfterPrefixChange) {
+  ChildTable t;
+  const PathCode old_parent = code("001");
+  t.upsert(5, 1, make_child_code(old_parent, 1, 2));
+  t.upsert(6, 2, make_child_code(old_parent, 2, 2));
+  const PathCode new_parent = code("010");
+  t.rederive_codes(new_parent, 2);
+  EXPECT_EQ(t.find(5)->new_code.to_string(), "01001");
+  EXPECT_EQ(t.find(5)->old_code.to_string(), "00101");
+  EXPECT_EQ(t.find(6)->new_code.to_string(), "01010");
+}
+
+TEST(ChildTable, RederiveAfterSpaceExtensionKeepsPositions) {
+  ChildTable t;
+  const PathCode parent = code("0");
+  t.upsert(5, 1, make_child_code(parent, 1, 2));
+  t.rederive_codes(parent, 3);  // one-bit extension (Sec. III-B6)
+  EXPECT_EQ(t.find(5)->position, 1u);
+  EXPECT_EQ(t.find(5)->new_code.to_string(), "0001");
+  EXPECT_EQ(t.find(5)->old_code.to_string(), "001");
+}
+
+TEST(NeighborCodeTable, ObserveStoresCode) {
+  NeighborCodeTable t;
+  t.observe(7, code("0010"), 100);
+  ASSERT_NE(t.find(7), nullptr);
+  EXPECT_EQ(t.find(7)->new_code.to_string(), "0010");
+  EXPECT_TRUE(t.find(7)->old_code.empty());
+}
+
+TEST(NeighborCodeTable, ObserveIgnoresEmptyCode) {
+  NeighborCodeTable t;
+  t.observe(7, PathCode{}, 100);
+  EXPECT_EQ(t.find(7), nullptr);
+}
+
+TEST(NeighborCodeTable, CodeChangeRetainsOld) {
+  NeighborCodeTable t;
+  t.observe(7, code("0010"), 100);
+  t.observe(7, code("0110"), 200);
+  EXPECT_EQ(t.find(7)->new_code.to_string(), "0110");
+  EXPECT_EQ(t.find(7)->old_code.to_string(), "0010");
+  EXPECT_EQ(t.find(7)->code_changed_at, 200u);
+}
+
+TEST(NeighborCodeTable, RepeatedSameCodeNoChurn) {
+  NeighborCodeTable t;
+  t.observe(7, code("0010"), 100);
+  t.observe(7, code("0010"), 500);
+  EXPECT_TRUE(t.find(7)->old_code.empty());
+}
+
+TEST(NeighborCodeTable, UnreachableLifecycle) {
+  NeighborCodeTable t;
+  t.observe(7, code("0010"), 100);
+  EXPECT_FALSE(t.is_unreachable(7));
+  t.mark_unreachable(7, 150);
+  EXPECT_TRUE(t.is_unreachable(7));
+  t.mark_reachable(7);  // routing beacon heard again (Sec. III-C3)
+  EXPECT_FALSE(t.is_unreachable(7));
+}
+
+TEST(NeighborCodeTable, UnreachableExpiresByTimeout) {
+  NeighborCodeTable t;
+  t.mark_unreachable(7, 100);
+  t.expire_unreachable(/*now=*/150, /*timeout=*/100);
+  EXPECT_TRUE(t.is_unreachable(7));
+  t.expire_unreachable(/*now=*/200, /*timeout=*/100);
+  EXPECT_FALSE(t.is_unreachable(7));
+}
+
+TEST(NeighborCodeTable, MarkUnreachableWithoutCodeCreatesEntry) {
+  NeighborCodeTable t;
+  t.mark_unreachable(3, 10);
+  EXPECT_TRUE(t.is_unreachable(3));
+}
+
+TEST(NeighborCodeTable, RemoveErases) {
+  NeighborCodeTable t;
+  t.observe(7, code("0010"), 100);
+  t.remove(7);
+  EXPECT_EQ(t.find(7), nullptr);
+}
+
+}  // namespace
+}  // namespace telea

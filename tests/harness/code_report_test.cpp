@@ -1,0 +1,109 @@
+// In-band code reporting (paper Sec. III-A: "such code will be reported to
+// the remote controller"): collection traffic carries each node's path code
+// to the sink, and the controller can address commands purely from those
+// reports — no out-of-band knowledge.
+
+#include <gtest/gtest.h>
+
+#include "harness/controller.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig cfg(std::uint64_t seed) {
+  NetworkConfig c;
+  c.topology = make_line(4, 22.0);
+  c.seed = seed;
+  c.protocol = ControlProtocol::kReTele;
+  return c;
+}
+
+TEST(CodeReport, RegistryFillsFromCollectionTraffic) {
+  Network net(cfg(1));
+  Controller controller(net);
+  net.start();
+  net.run_for(4_min);
+  EXPECT_FALSE(controller.reported_code(1).has_value());  // no data yet
+  net.start_data_collection(1_min);
+  net.run_for(4_min);
+  for (NodeId i = 1; i < 4; ++i) {
+    const auto code = controller.reported_code(i);
+    ASSERT_TRUE(code.has_value()) << "node " << i;
+    EXPECT_EQ(code->to_string(),
+              net.node(i).tele()->addressing().code().to_string());
+  }
+}
+
+TEST(CodeReport, CommandAddressedPurelyFromReports) {
+  Network net(cfg(2));
+  Controller controller(net);
+  controller.set_use_reported_codes(true);
+  net.start();
+  net.run_for(4_min);
+  // Before any report: the controller genuinely does not know the code.
+  EXPECT_FALSE(controller.send_command(3, 1).has_value());
+
+  net.start_data_collection(1_min);
+  net.run_for(4_min);
+  bool delivered = false;
+  net.node(3).tele()->on_control_delivered =
+      [&delivered](const msg::ControlPacket&, bool) { delivered = true; };
+  const auto seq = controller.send_command(3, 0x42);
+  ASSERT_TRUE(seq.has_value());
+  net.run_for(1_min);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(CodeReport, StaleReportedCodeStillDelivers) {
+  // The controller addresses by the code it last heard; if the node has
+  // since re-coded, old-code matching along the path (Sec. III-B6) and the
+  // destination's own old code keep the command deliverable.
+  Network net(cfg(3));
+  Controller controller(net);
+  controller.set_use_reported_codes(true);
+  net.start();
+  net.run_for(4_min);
+  net.start_data_collection(1_min);
+  net.run_for(3_min);
+  const auto reported = controller.reported_code(2);
+  ASSERT_TRUE(reported.has_value());
+
+  // Force a re-coding of node 2 (new position under the same parent).
+  auto& parent = net.node(1).tele()->addressing();
+  const auto* entry = parent.children().find(2);
+  ASSERT_NE(entry, nullptr);
+  msg::TeleBeacon beacon;
+  beacon.parent_code = parent.code();
+  beacon.space_bits = parent.space_bits();
+  beacon.entries.push_back(msg::AllocationEntry{
+      2, entry->position == 1 ? 2u : 1u, false});
+  net.node(2).tele()->addressing().handle_tele_beacon(1, beacon);
+  ASSERT_NE(net.node(2).tele()->addressing().code().to_string(),
+            reported->to_string());
+
+  // Command addressed by the stale report still arrives.
+  bool delivered = false;
+  net.node(2).tele()->on_control_delivered =
+      [&delivered](const msg::ControlPacket&, bool) { delivered = true; };
+  net.sink().tele()->send_control(2, *reported, 7);
+  net.run_for(1_min);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(CodeReport, DataFramesGrowOnlyWhenReporting) {
+  msg::CtpData plain;
+  msg::CtpData reporting;
+  reporting.has_code_report = true;
+  reporting.reported_code = BitString::from_string_unchecked("00101");
+  Frame a, b;
+  a.payload = plain;
+  b.payload = reporting;
+  EXPECT_GT(wire_size_bytes(b), wire_size_bytes(a));
+  EXPECT_LE(wire_size_bytes(b), 127u);
+}
+
+}  // namespace
+}  // namespace telea

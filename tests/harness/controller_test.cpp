@@ -1,0 +1,90 @@
+#include "harness/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig cfg(std::uint64_t seed) {
+  NetworkConfig c;
+  c.topology = make_line(4, 22.0);
+  c.seed = seed;
+  c.protocol = ControlProtocol::kReTele;
+  return c;
+}
+
+TEST(Controller, CountsReportsPerOrigin) {
+  Network net(cfg(1));
+  Controller controller(net);
+  net.start();
+  net.run_for(3_min);
+  net.start_data_collection(30_s);
+  net.run_for(3_min);
+  EXPECT_GE(controller.reports_from(1), 3u);
+  EXPECT_GE(controller.reports_from(3), 2u);
+  EXPECT_EQ(controller.reports_from(99), 0u);
+}
+
+TEST(Controller, DetectsQuietNode) {
+  Network net(cfg(2));
+  Controller controller(net);
+  net.start();
+  net.run_for(3_min);
+  net.start_data_collection(30_s);
+  net.run_for(4_min);
+  controller.begin_window();
+  net.node(3).kill();
+  net.run_for(4_min);
+  const auto quiet = controller.quiet_nodes(/*expected=*/3, /*floor=*/1);
+  ASSERT_EQ(quiet.size(), 1u);
+  EXPECT_EQ(quiet[0], 3);
+}
+
+TEST(Controller, SendsCommandAndSeesAck) {
+  Network net(cfg(3));
+  Controller controller(net);
+  net.start();
+  net.run_for(4_min);
+  bool delivered = false;
+  net.node(2).tele()->on_control_delivered =
+      [&delivered](const msg::ControlPacket&, bool) { delivered = true; };
+  const auto seq = controller.send_command(2, 0x77);
+  ASSERT_TRUE(seq.has_value());
+  net.run_for(1_min);
+  EXPECT_TRUE(delivered);
+  ASSERT_EQ(controller.acked().size(), 1u);
+  EXPECT_EQ(controller.acked()[0], *seq);
+}
+
+TEST(Controller, RejectsUncodedOrUnknownTargets) {
+  Network net(cfg(4));
+  Controller controller(net);
+  net.start();  // no convergence: nobody has codes yet
+  EXPECT_FALSE(controller.send_command(2, 1).has_value());
+  EXPECT_FALSE(controller.send_command(99, 1).has_value());
+}
+
+TEST(Controller, GroupCommandReachesAll) {
+  Network net(cfg(5));
+  Controller controller(net);
+  net.start();
+  net.run_for(4_min);
+  int hits = 0;
+  for (NodeId id : {NodeId{1}, NodeId{3}}) {
+    net.node(id).tele()->group_control().on_delivered =
+        [&hits](std::uint16_t, std::uint32_t) { ++hits; };
+    net.node(id).tele()->on_control_delivered =
+        [&hits](const msg::ControlPacket&, bool) { ++hits; };
+  }
+  const auto group = controller.send_command_group({1, 3}, 0x55);
+  ASSERT_TRUE(group.has_value());
+  net.run_for(90_s);
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,78 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+ControlExperimentConfig tiny(ControlProtocol proto, std::uint64_t seed) {
+  ControlExperimentConfig cfg;
+  cfg.network.topology = make_connected_random(12, 50.0, seed);
+  cfg.network.seed = seed;
+  cfg.network.protocol = proto;
+  cfg.warmup = 8_min;
+  cfg.duration = 10_min;
+  cfg.control_interval = 30_s;
+  cfg.data_ipi = 2_min;
+  cfg.drain = 1_min;
+  return cfg;
+}
+
+TEST(Experiment, TeleRunProducesSaneMetrics) {
+  const auto r = run_control_experiment(tiny(ControlProtocol::kReTele, 1));
+  EXPECT_GE(r.sent, 15u);
+  EXPECT_GE(r.pdr(), 0.8);
+  EXPECT_GT(r.tx_per_control, 0.0);
+  EXPECT_LT(r.tx_per_control, 30.0);
+  EXPECT_GT(r.duty_cycle, 0.0);
+  EXPECT_LT(r.duty_cycle, 0.5);
+  EXPECT_FALSE(r.pdr_by_hop.empty());
+}
+
+TEST(Experiment, DripRunFloodsEverything) {
+  const auto r = run_control_experiment(tiny(ControlProtocol::kDrip, 2));
+  EXPECT_GE(r.pdr(), 0.9);
+  // Flooding: transmissions per control packet approach network size.
+  EXPECT_GT(r.tx_per_control, 5.0);
+}
+
+TEST(Experiment, RplRunDeliversMost) {
+  const auto r = run_control_experiment(tiny(ControlProtocol::kRpl, 3));
+  EXPECT_GE(r.pdr(), 0.6);
+  EXPECT_GT(r.tx_per_control, 0.0);
+}
+
+TEST(Experiment, MergeAveragesRuns) {
+  ControlExperimentResult a, b;
+  a.sent = 10;
+  a.delivered = 9;
+  a.tx_per_control = 4.0;
+  a.duty_cycle = 0.02;
+  a.pdr_by_hop.add(1, 1.0);
+  b.sent = 10;
+  b.delivered = 10;
+  b.tx_per_control = 6.0;
+  b.duty_cycle = 0.04;
+  b.pdr_by_hop.add(1, 0.0);
+  const auto m = merge_results({a, b});
+  EXPECT_EQ(m.sent, 20u);
+  EXPECT_EQ(m.delivered, 19u);
+  EXPECT_DOUBLE_EQ(m.tx_per_control, 5.0);
+  EXPECT_DOUBLE_EQ(m.duty_cycle, 0.03);
+  EXPECT_DOUBLE_EQ(m.pdr_by_hop.groups().at(1).mean(), 0.5);
+}
+
+TEST(Experiment, DeterministicPerSeed) {
+  const auto a = run_control_experiment(tiny(ControlProtocol::kTele, 5));
+  const auto b = run_control_experiment(tiny(ControlProtocol::kTele, 5));
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.tx_per_control, b.tx_per_control);
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,135 @@
+#include "harness/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig small_config(ControlProtocol proto, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(4, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = proto;
+  return cfg;
+}
+
+TEST(Network, BuildsOnlyRequestedProtocol) {
+  Network tele(small_config(ControlProtocol::kTele, 1));
+  EXPECT_NE(tele.node(1).tele(), nullptr);
+  EXPECT_EQ(tele.node(1).drip(), nullptr);
+  EXPECT_EQ(tele.node(1).rpl(), nullptr);
+
+  Network drip(small_config(ControlProtocol::kDrip, 1));
+  EXPECT_EQ(drip.node(1).tele(), nullptr);
+  EXPECT_NE(drip.node(1).drip(), nullptr);
+
+  Network rpl(small_config(ControlProtocol::kRpl, 1));
+  EXPECT_NE(rpl.node(1).rpl(), nullptr);
+  EXPECT_EQ(rpl.node(1).tele(), nullptr);
+}
+
+TEST(Network, ProtocolNames) {
+  EXPECT_STREQ(protocol_name(ControlProtocol::kTele), "Tele");
+  EXPECT_STREQ(protocol_name(ControlProtocol::kReTele), "Re-Tele");
+  EXPECT_STREQ(protocol_name(ControlProtocol::kDrip), "Drip");
+  EXPECT_STREQ(protocol_name(ControlProtocol::kRpl), "RPL");
+}
+
+TEST(Network, CodeCoverageReachesOne) {
+  Network net(small_config(ControlProtocol::kTele, 2));
+  net.start();
+  EXPECT_LT(net.code_coverage(), 1.0);
+  net.run_for(4_min);
+  EXPECT_DOUBLE_EQ(net.code_coverage(), 1.0);
+}
+
+TEST(Network, CodeTreeDepthMatchesLine) {
+  Network net(small_config(ControlProtocol::kTele, 3));
+  net.start();
+  net.run_for(4_min);
+  EXPECT_EQ(net.code_tree_depth(0), 0);
+  EXPECT_EQ(net.code_tree_depth(1), 1);
+  EXPECT_EQ(net.code_tree_depth(3), 3);
+}
+
+TEST(Network, CodeTreeDepthNegativeWithoutCode) {
+  Network net(small_config(ControlProtocol::kTele, 4));
+  net.start();  // no convergence time given
+  EXPECT_EQ(net.code_tree_depth(3), -1);
+}
+
+TEST(Network, ResetAccountingZeroesDuty) {
+  Network net(small_config(ControlProtocol::kTele, 5));
+  net.start();
+  net.run_for(1_min);
+  EXPECT_GT(net.average_duty_cycle(), 0.0);
+  net.reset_accounting();
+  net.run_for(1_s);
+  EXPECT_LT(net.average_duty_cycle(), 1.01);
+}
+
+TEST(Network, KilledNodeGoesSilent) {
+  Network net(small_config(ControlProtocol::kTele, 6));
+  net.start();
+  net.run_for(1_min);
+  net.node(2).kill();
+  EXPECT_TRUE(net.node(2).killed());
+  const auto ops = net.node(2).mac().send_ops();
+  net.run_for(1_min);
+  EXPECT_EQ(net.node(2).mac().send_ops(), ops);
+}
+
+TEST(Network, WifiInterferenceRaisesDutyCycle) {
+  NetworkConfig quiet = small_config(ControlProtocol::kTele, 7);
+  NetworkConfig noisy = small_config(ControlProtocol::kTele, 7);
+  noisy.wifi_interference = true;
+
+  Network a(quiet);
+  a.start();
+  a.run_for(2_min);
+  a.reset_accounting();
+  a.run_for(3_min);
+
+  Network b(noisy);
+  b.start();
+  b.run_for(2_min);
+  b.reset_accounting();
+  b.run_for(3_min);
+
+  // WiFi bursts trip the LPL CCA into false wakeups: duty must go up.
+  EXPECT_GT(b.average_duty_cycle(), a.average_duty_cycle());
+}
+
+TEST(Network, DataCollectionReachesSink) {
+  Network net(small_config(ControlProtocol::kTele, 8));
+  net.start();
+  net.run_for(3_min);
+  int received = 0;
+  net.sink().on_sink_data = [&](const msg::CtpData& d) {
+    if (!d.is_control_ack) ++received;
+  };
+  net.start_data_collection(30_s);
+  net.run_for(2_min);
+  EXPECT_GE(received, 6);  // 3 nodes x ~4 rounds, some loss tolerated
+}
+
+TEST(Network, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    Network net(small_config(ControlProtocol::kTele, 99));
+    net.start();
+    net.run_for(2_min);
+    std::uint64_t total_ops = 0;
+    for (NodeId i = 0; i < net.size(); ++i) {
+      total_ops += net.node(i).mac().send_ops();
+    }
+    return total_ops;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace telea

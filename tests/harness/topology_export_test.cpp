@@ -1,0 +1,59 @@
+#include "harness/topology_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+TEST(TopologyExport, RendersNodesEdgesAndCodes) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(3, 22.0);
+  cfg.seed = 5;
+  cfg.protocol = ControlProtocol::kTele;
+  Network net(cfg);
+  net.start();
+  net.run_for(4_min);
+
+  const std::string dot = render_topology_dot(net);
+  EXPECT_NE(dot.find("digraph wsn"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);  // the sink
+  EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n1"), std::string::npos);
+  // Codes appear as labels.
+  const auto& code = net.node(1).tele()->addressing().code();
+  ASSERT_FALSE(code.empty());
+  EXPECT_NE(dot.find(code.to_string()), std::string::npos);
+}
+
+TEST(TopologyExport, KilledNodesGrayedOut) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(3, 22.0);
+  cfg.seed = 6;
+  cfg.protocol = ControlProtocol::kTele;
+  Network net(cfg);
+  net.start();
+  net.run_for(1_min);
+  net.node(2).kill();
+  EXPECT_NE(render_topology_dot(net).find("fillcolor=gray"),
+            std::string::npos);
+}
+
+TEST(TopologyExport, WritesFile) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(2, 22.0);
+  cfg.seed = 7;
+  cfg.protocol = ControlProtocol::kTele;
+  Network net(cfg);
+  net.start();
+  const std::string path = "/tmp/telea_topo_test.dot";
+  EXPECT_TRUE(write_topology_dot(net, path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_topology_dot(net, "/nonexistent/dir/x.dot"));
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "net/link_estimator.hpp"
+
+namespace telea {
+namespace {
+
+TEST(LinkPenalty, PendingFailuresRaiseEtxBeforeAnySuccess) {
+  LinkEstimator le;
+  le.on_beacon(4, 1);  // known, optimistic ETX 2.0
+  EXPECT_EQ(le.etx10(4), 20);
+  le.on_data_tx(4, false);
+  le.on_data_tx(4, false);
+  EXPECT_EQ(le.etx10(4), 20);  // below the 3-failure evidence bar
+  le.on_data_tx(4, false);
+  EXPECT_GE(le.etx10(4), 30);  // a one-way link now *looks* bad
+  for (int i = 0; i < 7; ++i) le.on_data_tx(4, false);
+  EXPECT_GE(le.etx10(4), 100);
+}
+
+TEST(LinkPenalty, SuccessAfterFailuresFoldsIntoEstimate) {
+  LinkEstimator le;
+  for (int i = 0; i < 5; ++i) le.on_data_tx(9, false);
+  EXPECT_GE(le.etx10(9), 50);
+  le.on_data_tx(9, true);  // 6 attempts for the success
+  // Pending-failure penalty gone; data-driven ETX reflects ~6 attempts.
+  EXPECT_NEAR(le.etx10(9), 60, 15);
+}
+
+TEST(LinkPenalty, PenaltyDominatesStaleGoodEstimate) {
+  LinkEstimator le;
+  for (int i = 0; i < 10; ++i) le.on_data_tx(2, true);  // ETX ~1.0
+  EXPECT_EQ(le.etx10(2), 10);
+  for (int i = 0; i < 6; ++i) le.on_data_tx(2, false);
+  EXPECT_GE(le.etx10(2), 60);  // the live run of failures wins
+}
+
+}  // namespace
+}  // namespace telea

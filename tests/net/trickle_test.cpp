@@ -1,0 +1,138 @@
+#include "net/trickle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+TrickleTimer::Config cfg(SimTime imin, SimTime imax, unsigned k) {
+  return TrickleTimer::Config{imin, imax, k};
+}
+
+TEST(Trickle, FiresWithinFirstInterval) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 1_s, 0), 1);
+  std::vector<SimTime> fires;
+  t.set_callback([&] { fires.push_back(sim.now()); });
+  t.start();
+  sim.run_until(100_ms);
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_GE(fires[0], 50_ms);  // second half of the interval
+  EXPECT_LE(fires[0], 100_ms);
+}
+
+TEST(Trickle, IntervalDoublesUpToImax) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 800_ms, 0), 2);
+  t.set_callback([] {});
+  t.start();
+  EXPECT_EQ(t.current_interval(), 100_ms);
+  sim.run_until(100_ms + 1);
+  EXPECT_EQ(t.current_interval(), 200_ms);
+  sim.run_until(300_ms + 1);
+  EXPECT_EQ(t.current_interval(), 400_ms);
+  sim.run_until(10_s);
+  EXPECT_EQ(t.current_interval(), 800_ms);
+}
+
+TEST(Trickle, SteadyStateFiringRateDecays) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 6400_ms, 0), 3);
+  int fires = 0;
+  t.set_callback([&] { ++fires; });
+  t.start();
+  sim.run_until(30_s);
+  // Intervals: 0.1,0.2,...,6.4 then 6.4 repeating: ~11-12 fires in 30 s.
+  EXPECT_GE(fires, 8);
+  EXPECT_LE(fires, 14);
+}
+
+TEST(Trickle, SuppressionWithK) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 100_ms, 1), 4);
+  int fires = 0;
+  t.set_callback([&] { ++fires; });
+  t.start();
+  // Feed one consistent message right at each interval start.
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i) * 100_ms + 1,
+                    [&t] { t.hear_consistent(); });
+  }
+  sim.run_until(2_s);
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Trickle, NoSuppressionWhenKZero) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 100_ms, 0), 5);
+  int fires = 0;
+  t.set_callback([&] { ++fires; });
+  t.start();
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i) * 100_ms + 1,
+                    [&t] { t.hear_consistent(); });
+  }
+  sim.run_until(2_s);
+  EXPECT_EQ(fires, 20);
+}
+
+TEST(Trickle, InconsistencyResetsToImin) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 10_s, 0), 6);
+  t.set_callback([] {});
+  t.start();
+  sim.run_until(3_s);  // interval has grown
+  EXPECT_GT(t.current_interval(), 100_ms);
+  t.hear_inconsistent();
+  EXPECT_EQ(t.current_interval(), 100_ms);
+}
+
+TEST(Trickle, InconsistentAtIminDoesNotRestartInterval) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 10_s, 1), 7);
+  int fires = 0;
+  t.set_callback([&] { ++fires; });
+  t.start();
+  // Spamming inconsistent at Imin must not postpone firing forever.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i) * 10_ms, [&t] {
+      t.hear_inconsistent();
+    });
+  }
+  sim.run_until(1_s);
+  EXPECT_GE(fires, 1);
+}
+
+TEST(Trickle, StopPreventsFiring) {
+  Simulator sim;
+  TrickleTimer t(sim, cfg(100_ms, 1_s, 0), 8);
+  int fires = 0;
+  t.set_callback([&] { ++fires; });
+  t.start();
+  t.stop();
+  sim.run_until(5_s);
+  EXPECT_EQ(fires, 0);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(Trickle, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    TrickleTimer t(sim, TrickleTimer::Config{100 * kMillisecond, 10 * kSecond, 0},
+                   seed);
+    std::vector<SimTime> fires;
+    t.set_callback([&] { fires.push_back(sim.now()); });
+    t.start();
+    sim.run_until(5 * kSecond);
+    return fires;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace telea

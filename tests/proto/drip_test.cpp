@@ -1,0 +1,131 @@
+#include "proto/drip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig drip_config(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(nodes, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kDrip;
+  return cfg;
+}
+
+TEST(Drip, VersionAdvancesPerDissemination) {
+  Network net(drip_config(2, 1));
+  net.start();
+  EXPECT_EQ(net.sink().drip()->disseminate(1, 10), 1u);
+  EXPECT_EQ(net.sink().drip()->disseminate(1, 11), 2u);
+}
+
+TEST(Drip, FloodsAcrossMultipleHops) {
+  Network net(drip_config(5, 2));
+  net.start();
+  net.run_for(1_min);
+  bool delivered = false;
+  net.node(4).drip()->on_delivered = [&](const msg::DripMsg& m) {
+    delivered = true;
+    EXPECT_EQ(m.command, 77);
+  };
+  net.sink().drip()->disseminate(4, 77);
+  net.run_for(1_min);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Drip, EveryNodeAdoptsTheValue) {
+  Network net(drip_config(5, 3));
+  net.start();
+  net.run_for(1_min);
+  int adopters = 0;
+  for (NodeId i = 1; i < 5; ++i) {
+    net.node(i).drip()->on_adopted = [&adopters](const msg::DripMsg&) {
+      ++adopters;
+    };
+  }
+  net.sink().drip()->disseminate(2, 5);
+  net.run_for(1_min);
+  EXPECT_EQ(adopters, 4);  // the flood reaches everyone, not just the dest
+}
+
+TEST(Drip, OnlyAddressedDestinationConsumes) {
+  Network net(drip_config(4, 4));
+  net.start();
+  net.run_for(1_min);
+  int delivered_wrong = 0;
+  bool delivered_right = false;
+  net.node(1).drip()->on_delivered = [&](const msg::DripMsg&) {
+    ++delivered_wrong;
+  };
+  net.node(2).drip()->on_delivered = [&](const msg::DripMsg&) {
+    delivered_right = true;
+  };
+  net.sink().drip()->disseminate(2, 9);
+  net.run_for(1_min);
+  EXPECT_TRUE(delivered_right);
+  EXPECT_EQ(delivered_wrong, 0);
+}
+
+TEST(Drip, StaleVersionNotReadopted) {
+  Network net(drip_config(3, 5));
+  net.start();
+  net.run_for(1_min);
+  int deliveries = 0;
+  net.node(2).drip()->on_delivered = [&](const msg::DripMsg&) {
+    ++deliveries;
+  };
+  net.sink().drip()->disseminate(2, 1);
+  net.run_for(1_min);
+  // Re-inject the same (old) version directly: must be ignored.
+  msg::DripMsg stale;
+  stale.key = 1;
+  stale.version = 1;
+  stale.dest = 2;
+  stale.command = 1;
+  net.node(2).drip()->handle_msg(1, stale);
+  net.run_for(10_s);
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST(Drip, SequentialDisseminationsAllDelivered) {
+  Network net(drip_config(4, 6));
+  net.start();
+  net.run_for(1_min);
+  int deliveries = 0;
+  net.node(3).drip()->on_delivered = [&](const msg::DripMsg&) {
+    ++deliveries;
+  };
+  for (int i = 0; i < 3; ++i) {
+    net.sink().drip()->disseminate(3, static_cast<std::uint16_t>(i));
+    net.run_for(1_min);
+  }
+  EXPECT_EQ(deliveries, 3);
+}
+
+TEST(Drip, FloodCostsManyTransmissions) {
+  // The core of Table III: one control packet via Drip costs on the order
+  // of the network size in transmissions, not the path length.
+  Network net(drip_config(5, 7));
+  net.start();
+  net.run_for(1_min);
+  std::uint64_t ops_before = 0;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    ops_before += net.node(i).mac().send_ops();
+  }
+  net.sink().drip()->disseminate(4, 1);
+  net.run_for(1_min);
+  std::uint64_t ops_after = 0;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    ops_after += net.node(i).mac().send_ops();
+  }
+  EXPECT_GE(ops_after - ops_before, net.size());
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,90 @@
+// Drip ↔ Trickle interaction details: suppression economy, redissemination
+// to late joiners, and hop accounting.
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig drip_cfg(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(nodes, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kDrip;
+  return cfg;
+}
+
+TEST(DripTrickle, SteadyStateIsQuiet) {
+  Network net(drip_cfg(4, 31));
+  net.start();
+  net.run_for(2_min);
+  net.sink().drip()->disseminate(3, 1);
+  net.run_for(3_min);  // flood settles
+  net.reset_accounting();
+  net.run_for(5_min);  // steady state: only Imax-paced advertisements
+  std::uint64_t ops = 0;
+  for (NodeId i = 0; i < net.size(); ++i) {
+    ops += net.node(i).mac().send_ops();
+  }
+  // A handful of trickle firings + CTP beacons; nowhere near flood volume.
+  EXPECT_LT(ops, 40u);
+}
+
+TEST(DripTrickle, LateJoinerCatchesUp) {
+  Network net(drip_cfg(4, 32));
+  net.start();
+  net.run_for(2_min);
+  net.node(3).kill();
+  bool delivered = false;
+  net.node(3).drip()->on_delivered = [&](const msg::DripMsg&) {
+    delivered = true;
+  };
+  net.sink().drip()->disseminate(3, 9);
+  net.run_for(2_min);
+  EXPECT_FALSE(delivered);  // it was dead during the flood
+  net.node(3).revive();
+  // Its stale (empty) advertisements trigger neighbors to re-disseminate.
+  net.run_for(3_min);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(DripTrickle, HopsAccumulateAlongTheLine) {
+  Network net(drip_cfg(5, 33));
+  net.start();
+  net.run_for(2_min);
+  std::uint8_t hops_at_4 = 0;
+  net.node(4).drip()->on_delivered = [&](const msg::DripMsg& m) {
+    hops_at_4 = m.hops_so_far;
+  };
+  net.sink().drip()->disseminate(4, 1);
+  net.run_for(3_min);
+  ASSERT_GT(hops_at_4, 0);
+  // At least the 4 line hops; suppression may add a detour or two.
+  EXPECT_GE(hops_at_4, 4);
+  EXPECT_LE(hops_at_4, 8);
+}
+
+TEST(DripTrickle, NewerVersionSupersedesMidFlood) {
+  Network net(drip_cfg(4, 34));
+  net.start();
+  net.run_for(2_min);
+  int v1_deliveries = 0, v2_deliveries = 0;
+  net.node(3).drip()->on_delivered = [&](const msg::DripMsg& m) {
+    if (m.version == 1) ++v1_deliveries;
+    if (m.version == 2) ++v2_deliveries;
+  };
+  net.sink().drip()->disseminate(3, 1);
+  net.run_for(2_s);  // barely started
+  net.sink().drip()->disseminate(3, 2);
+  net.run_for(3_min);
+  // Version 2 must arrive; version 1 may or may not have beaten it out.
+  EXPECT_EQ(v2_deliveries, 1);
+}
+
+}  // namespace
+}  // namespace telea

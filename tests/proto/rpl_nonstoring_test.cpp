@@ -1,0 +1,120 @@
+// RPL non-storing mode (RFC 6550 §9.7): root-only topology, source-routed
+// downward packets.
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "proto/rpl.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig ns_config(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(nodes, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kRpl;
+  cfg.rpl.mode = RplMode::kNonStoring;
+  return cfg;
+}
+
+TEST(RplNonStoring, RelaysStoreNothing) {
+  Network net(ns_config(4, 81));
+  net.start();
+  net.run_for(4_min);
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.node(i).rpl()->route_count(), 0u) << "node " << i;
+  }
+}
+
+TEST(RplNonStoring, RootComputesSourceRoutes) {
+  Network net(ns_config(4, 82));
+  net.start();
+  net.run_for(4_min);
+  const auto route = net.sink().rpl()->compute_source_route(3);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[0], 1);
+  EXPECT_EQ(route[1], 2);
+  EXPECT_EQ(route[2], 3);
+  EXPECT_TRUE(net.sink().rpl()->has_route_to(3));
+}
+
+TEST(RplNonStoring, SourceRoutedDeliveryAcrossHops) {
+  Network net(ns_config(4, 83));
+  net.start();
+  net.run_for(4_min);
+  bool delivered = false;
+  net.node(3).rpl()->on_delivered = [&](const msg::RplData& d) {
+    delivered = true;
+    EXPECT_EQ(d.command, 66);
+    EXPECT_EQ(d.hops_so_far, 3u);
+    ASSERT_EQ(d.source_route.size(), 3u);
+  };
+  ASSERT_TRUE(net.sink().rpl()->send_downward(3, 66, 1));
+  net.run_for(30_s);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(RplNonStoring, NoRouteWithoutDaos) {
+  Network net(ns_config(3, 84));
+  net.start();
+  EXPECT_FALSE(net.sink().rpl()->send_downward(2, 1, 1));
+  EXPECT_TRUE(net.sink().rpl()->compute_source_route(2).empty());
+}
+
+TEST(RplNonStoring, BrokenChainYieldsNoRoute) {
+  Network net(ns_config(5, 85));
+  net.start();
+  net.run_for(4_min);
+  ASSERT_TRUE(net.sink().rpl()->has_route_to(4));
+  // Kill an intermediate node; after its parent link expires the root can
+  // no longer assemble the route. (Lifetime is long, so emulate expiry by
+  // checking the *forwarding* outcome instead: the packet dies at the gap.)
+  net.node(2).kill();
+  bool delivered = false;
+  net.node(4).rpl()->on_delivered = [&](const msg::RplData&) {
+    delivered = true;
+  };
+  net.sink().rpl()->send_downward(4, 1, 7);
+  net.run_for(2_min);
+  EXPECT_FALSE(delivered);
+}
+
+TEST(RplNonStoring, MisroutedPacketIsDropped) {
+  Network net(ns_config(4, 86));
+  net.start();
+  net.run_for(4_min);
+  // Hand node 2 a source-routed packet whose header does not contain it.
+  msg::RplData data;
+  data.dest = 3;
+  data.seqno = 42;
+  data.source_route = {1, 3};
+  data.route_index = 0;
+  int drops = 0;
+  net.node(2).rpl()->on_drop = [&](std::uint32_t) { ++drops; };
+  net.node(2).rpl()->handle_data(0, data, true);
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(RplNonStoring, DirectChildUsesOneHopRoute) {
+  Network net(ns_config(2, 87));
+  net.start();
+  net.run_for(3_min);
+  const auto route = net.sink().rpl()->compute_source_route(1);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0], 1);
+  bool delivered = false;
+  net.node(1).rpl()->on_delivered = [&](const msg::RplData& d) {
+    delivered = true;
+    EXPECT_EQ(d.hops_so_far, 1u);
+  };
+  net.sink().rpl()->send_downward(1, 5, 9);
+  net.run_for(30_s);
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,123 @@
+#include "proto/rpl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig rpl_config(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(nodes, 22.0);
+  cfg.seed = seed;
+  cfg.protocol = ControlProtocol::kRpl;
+  return cfg;
+}
+
+TEST(Rpl, DaosPopulateRootRoutingTable) {
+  Network net(rpl_config(4, 1));
+  net.start();
+  net.run_for(4_min);
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_TRUE(net.sink().rpl()->has_route_to(i)) << "node " << i;
+  }
+}
+
+TEST(Rpl, IntermediateNodesStoreDescendantsOnly) {
+  Network net(rpl_config(4, 2));
+  net.start();
+  net.run_for(4_min);
+  // Node 1's stored routes cover 2 and 3 (its subtree), not the sink.
+  EXPECT_TRUE(net.node(1).rpl()->has_route_to(2));
+  EXPECT_TRUE(net.node(1).rpl()->has_route_to(3));
+  EXPECT_FALSE(net.node(1).rpl()->has_route_to(0));
+  // Leaf stores nothing.
+  EXPECT_EQ(net.node(3).rpl()->route_count(), 0u);
+}
+
+TEST(Rpl, DownwardDeliveryAcrossHops) {
+  Network net(rpl_config(4, 3));
+  net.start();
+  net.run_for(4_min);
+  bool delivered = false;
+  net.node(3).rpl()->on_delivered = [&](const msg::RplData& d) {
+    delivered = true;
+    EXPECT_EQ(d.command, 55);
+    EXPECT_EQ(d.hops_so_far, 3u);
+  };
+  ASSERT_TRUE(net.sink().rpl()->send_downward(3, 55, 1));
+  net.run_for(30_s);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Rpl, SendFailsWithoutStoredRoute) {
+  Network net(rpl_config(3, 4));
+  net.start();
+  // Before any DAO arrives there is no downward state.
+  EXPECT_FALSE(net.sink().rpl()->send_downward(2, 1, 1));
+}
+
+TEST(Rpl, DeterministicForwardingDropsWhenRelayDies) {
+  Network net(rpl_config(4, 5));
+  net.start();
+  net.run_for(4_min);
+  ASSERT_TRUE(net.sink().rpl()->has_route_to(3));
+  // Kill the only relay: storing-mode RPL has no alternative.
+  net.node(1).kill();
+  bool delivered = false;
+  net.node(3).rpl()->on_delivered = [&](const msg::RplData&) {
+    delivered = true;
+  };
+  net.sink().rpl()->send_downward(3, 1, 9);
+  net.run_for(2_min);
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Rpl, RoutesExpireWithoutRefresh) {
+  NetworkConfig cfg = rpl_config(3, 6);
+  cfg.rpl.route_lifetime = 30_s;
+  cfg.rpl.dao_interval = 10 * kMinute;  // no refresh within the test
+  Network net(cfg);
+  net.start();
+  net.run_for(3_min);
+  // The initial triggered DAOs installed routes, but they have long expired
+  // relative to the 30 s lifetime by now (expiry checked lazily on use).
+  EXPECT_FALSE(net.sink().rpl()->send_downward(2, 1, 1));
+}
+
+TEST(Rpl, RelayHookFires) {
+  Network net(rpl_config(4, 7));
+  net.start();
+  net.run_for(4_min);
+  int relays = 0;
+  for (NodeId i = 1; i < 4; ++i) {
+    net.node(i).rpl()->on_relayed = [&relays](const msg::RplData&) {
+      ++relays;
+    };
+  }
+  net.sink().rpl()->send_downward(3, 1, 2);
+  net.run_for(30_s);
+  EXPECT_EQ(relays, 2);  // nodes 1 and 2 relayed; 3 consumed
+}
+
+TEST(Rpl, SequentialCommandsAllDelivered) {
+  Network net(rpl_config(3, 8));
+  net.start();
+  net.run_for(4_min);
+  int deliveries = 0;
+  net.node(2).rpl()->on_delivered = [&](const msg::RplData&) {
+    ++deliveries;
+  };
+  for (std::uint32_t s = 1; s <= 3; ++s) {
+    net.sink().rpl()->send_downward(2, 0, s);
+    net.run_for(30_s);
+  }
+  EXPECT_EQ(deliveries, 3);
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,282 @@
+#include "radio/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "radio/phy.hpp"
+
+namespace telea {
+namespace {
+
+/// A scripted MAC stand-in recording everything the medium reports.
+class FakeListener final : public MediumListener {
+ public:
+  AckDecision decision = AckDecision::kAccept;
+  std::vector<Frame> received;
+  std::vector<double> rssi;
+  int tx_done_count = 0;
+  bool last_acked = false;
+  NodeId last_acker = kInvalidNode;
+
+  AckDecision on_frame(const Frame& frame, double rssi_dbm) override {
+    received.push_back(frame);
+    rssi.push_back(rssi_dbm);
+    return decision;
+  }
+  void on_tx_done(bool acked, NodeId acker) override {
+    ++tx_done_count;
+    last_acked = acked;
+    last_acker = acker;
+  }
+};
+
+/// Quiet, flat noise floor so reception outcomes are deterministic.
+CpmNoiseModel quiet_noise() {
+  std::vector<std::int8_t> trace(200, -98);
+  return CpmNoiseModel(trace, 2);
+}
+
+class MediumTest : public ::testing::Test {
+ protected:
+  /// Nodes on a line with `spacing` meters, no shadowing, 0 dBm tx.
+  void build(int nodes, double spacing) {
+    std::vector<Position> pos;
+    for (int i = 0; i < nodes; ++i) pos.push_back({i * spacing, 0.0});
+    PathLossConfig pl;
+    pl.exponent = 4.0;
+    pl.loss_at_reference_db = 40.0;
+    pl.shadowing_sigma_db = 0.0;
+    gains_ = std::make_unique<LinkGainTable>(pos, pl, 1);
+    noise_ = std::make_unique<CpmNoiseModel>(quiet_noise());
+    MediumConfig cfg;
+    cfg.tx_power_dbm = 0.0;
+    medium_ = std::make_unique<RadioMedium>(sim_, *gains_, *noise_, cfg, 7);
+    listeners_.clear();
+    for (int i = 0; i < nodes; ++i) {
+      listeners_.push_back(std::make_unique<FakeListener>());
+      medium_->attach(static_cast<NodeId>(i), *listeners_.back());
+    }
+  }
+
+  Frame beacon_frame(NodeId src) {
+    Frame f;
+    f.src = src;
+    f.dst = kBroadcastNode;
+    f.link_seq = next_seq_++;
+    f.payload = msg::CtpBeacon{};
+    return f;
+  }
+
+  Frame data_frame(NodeId src, NodeId dst) {
+    Frame f;
+    f.src = src;
+    f.dst = dst;
+    f.link_seq = next_seq_++;
+    f.payload = msg::CtpData{};
+    return f;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<LinkGainTable> gains_;
+  std::unique_ptr<CpmNoiseModel> noise_;
+  std::unique_ptr<RadioMedium> medium_;
+  std::vector<std::unique_ptr<FakeListener>> listeners_;
+  std::uint32_t next_seq_ = 1;
+};
+
+TEST_F(MediumTest, BroadcastReachesListeningNeighbor) {
+  build(2, 5.0);  // 5 m at 0 dBm: very strong link
+  medium_->set_listening(1, true);
+  medium_->transmit(0, beacon_frame(0));
+  sim_.run();
+  ASSERT_EQ(listeners_[1]->received.size(), 1u);
+  EXPECT_EQ(listeners_[1]->received[0].src, 0);
+  EXPECT_EQ(listeners_[0]->tx_done_count, 1);
+  EXPECT_FALSE(listeners_[0]->last_acked);  // broadcasts are unacked
+}
+
+TEST_F(MediumTest, SleepingRadioMissesFrame) {
+  build(2, 5.0);
+  medium_->set_listening(1, false);
+  medium_->transmit(0, beacon_frame(0));
+  sim_.run();
+  EXPECT_TRUE(listeners_[1]->received.empty());
+}
+
+TEST_F(MediumTest, WakingMidFrameMissesIt) {
+  build(2, 5.0);
+  medium_->set_listening(1, false);
+  medium_->transmit(0, beacon_frame(0));
+  // Wake 100 us into the transmission: the lock was taken at tx start.
+  sim_.schedule_in(100, [this] { medium_->set_listening(1, true); });
+  sim_.run();
+  EXPECT_TRUE(listeners_[1]->received.empty());
+}
+
+TEST_F(MediumTest, SleepMidFrameAbortsReception) {
+  build(2, 5.0);
+  medium_->set_listening(1, true);
+  medium_->transmit(0, beacon_frame(0));
+  sim_.schedule_in(100, [this] { medium_->set_listening(1, false); });
+  sim_.run();
+  EXPECT_TRUE(listeners_[1]->received.empty());
+}
+
+TEST_F(MediumTest, UnicastAckedByReceiver) {
+  build(2, 5.0);
+  medium_->set_listening(1, true);
+  listeners_[1]->decision = AckDecision::kAcceptAndAck;
+  medium_->transmit(0, data_frame(0, 1));
+  sim_.run();
+  EXPECT_EQ(listeners_[0]->tx_done_count, 1);
+  EXPECT_TRUE(listeners_[0]->last_acked);
+  EXPECT_EQ(listeners_[0]->last_acker, 1);
+}
+
+TEST_F(MediumTest, UnicastWithoutAckDecisionReportsNoAck) {
+  build(2, 5.0);
+  medium_->set_listening(1, true);
+  listeners_[1]->decision = AckDecision::kAccept;
+  medium_->transmit(0, data_frame(0, 1));
+  sim_.run();
+  EXPECT_TRUE(listeners_[0]->tx_done_count == 1 && !listeners_[0]->last_acked);
+}
+
+TEST_F(MediumTest, AnycastControlPacketClaimedByNonAddressee) {
+  build(3, 5.0);
+  medium_->set_listening(1, true);
+  medium_->set_listening(2, false);
+  listeners_[1]->decision = AckDecision::kAcceptAndAck;
+  Frame f;
+  f.src = 0;
+  f.dst = kBroadcastNode;  // anycast
+  f.link_seq = next_seq_++;
+  msg::ControlPacket cp;
+  cp.mode = msg::ControlMode::kOpportunistic;
+  f.payload = cp;
+  EXPECT_TRUE(RadioMedium::frame_wants_ack(f));
+  medium_->transmit(0, f);
+  sim_.run();
+  EXPECT_TRUE(listeners_[0]->last_acked);
+  EXPECT_EQ(listeners_[0]->last_acker, 1);
+}
+
+TEST_F(MediumTest, DirectControlIsPlainUnicast) {
+  Frame f;
+  f.dst = 5;
+  msg::ControlPacket cp;
+  cp.mode = msg::ControlMode::kDirect;
+  f.payload = cp;
+  EXPECT_TRUE(RadioMedium::frame_wants_ack(f));
+  f.dst = kBroadcastNode;
+  cp.mode = msg::ControlMode::kDirect;
+  f.payload = cp;
+  EXPECT_FALSE(RadioMedium::frame_wants_ack(f));
+}
+
+TEST_F(MediumTest, OutOfRangeNodeNeverReceives) {
+  build(2, 200.0);  // 200 m at exponent 4: far below sensitivity
+  medium_->set_listening(1, true);
+  for (int i = 0; i < 20; ++i) {
+    medium_->transmit(0, beacon_frame(0));
+    sim_.run();
+  }
+  EXPECT_TRUE(listeners_[1]->received.empty());
+}
+
+TEST_F(MediumTest, ChannelEnergyRisesDuringTransmission) {
+  build(2, 5.0);
+  medium_->set_listening(1, true);
+  const double idle = medium_->channel_energy_dbm(1);
+  EXPECT_LT(idle, -90.0);
+  medium_->transmit(0, beacon_frame(0));
+  // Signal at 5 m, exponent 4, PL0 40 dB: loss 68 dB -> about -68 dBm.
+  const double busy = medium_->channel_energy_dbm(1);
+  EXPECT_GT(busy, -70.0);
+  sim_.run();
+}
+
+TEST_F(MediumTest, CollisionDegradesMiddleReceiver) {
+  // Nodes 0 and 2 transmit simultaneously; node 1 sits between them at equal
+  // distance, so SINR ~ 0 dB -> reception must essentially always fail.
+  build(3, 5.0);
+  medium_->set_listening(1, true);
+  int received = 0;
+  for (int i = 0; i < 50; ++i) {
+    medium_->transmit(0, beacon_frame(0));
+    medium_->transmit(2, beacon_frame(2));
+    sim_.run();
+    received += static_cast<int>(listeners_[1]->received.size());
+    listeners_[1]->received.clear();
+  }
+  EXPECT_LE(received, 2);
+}
+
+TEST_F(MediumTest, CaptureWhenInterfererIsWeak) {
+  // Interferer is 4x farther: SINR is high, reception should survive.
+  std::vector<Position> pos{{0, 0}, {5, 0}, {25, 0}};
+  PathLossConfig pl;
+  pl.exponent = 4.0;
+  pl.loss_at_reference_db = 40.0;
+  pl.shadowing_sigma_db = 0.0;
+  gains_ = std::make_unique<LinkGainTable>(pos, pl, 1);
+  noise_ = std::make_unique<CpmNoiseModel>(quiet_noise());
+  MediumConfig cfg;
+  cfg.tx_power_dbm = 0.0;
+  medium_ = std::make_unique<RadioMedium>(sim_, *gains_, *noise_, cfg, 7);
+  listeners_.clear();
+  for (int i = 0; i < 3; ++i) {
+    listeners_.push_back(std::make_unique<FakeListener>());
+    medium_->attach(static_cast<NodeId>(i), *listeners_.back());
+  }
+  medium_->set_listening(1, true);
+  int received = 0;
+  for (int i = 0; i < 20; ++i) {
+    medium_->transmit(0, beacon_frame(0));
+    medium_->transmit(2, beacon_frame(2));
+    sim_.run();
+    received += static_cast<int>(listeners_[1]->received.size());
+    listeners_[1]->received.clear();
+  }
+  EXPECT_GE(received, 18);  // locked onto 0 first, 2 is 40 dB weaker
+}
+
+TEST_F(MediumTest, TransmitHookSeesEveryCopy) {
+  build(2, 5.0);
+  int copies = 0;
+  medium_->set_transmit_hook(
+      [&copies](NodeId, const Frame&, SimTime) { ++copies; });
+  medium_->transmit(0, beacon_frame(0));
+  sim_.run();
+  medium_->transmit(0, beacon_frame(0));
+  sim_.run();
+  EXPECT_EQ(copies, 2);
+  EXPECT_EQ(medium_->total_transmissions(), 2u);
+}
+
+TEST_F(MediumTest, TransmitterCannotReceiveWhileSending) {
+  build(2, 5.0);
+  medium_->set_listening(0, true);
+  medium_->set_listening(1, true);
+  medium_->transmit(0, beacon_frame(0));
+  medium_->transmit(1, beacon_frame(1));
+  sim_.run();
+  // Both were transmitting through each other's frames: neither receives.
+  EXPECT_TRUE(listeners_[0]->received.empty());
+  EXPECT_TRUE(listeners_[1]->received.empty());
+}
+
+TEST_F(MediumTest, ReceivingStateIsVisible) {
+  build(2, 5.0);
+  medium_->set_listening(1, true);
+  EXPECT_FALSE(medium_->receiving(1));
+  medium_->transmit(0, beacon_frame(0));
+  EXPECT_TRUE(medium_->receiving(1));
+  sim_.run();
+  EXPECT_FALSE(medium_->receiving(1));
+}
+
+}  // namespace
+}  // namespace telea

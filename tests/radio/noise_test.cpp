@@ -1,0 +1,121 @@
+#include "radio/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace telea {
+namespace {
+
+TEST(SyntheticTrace, LengthAndBounds) {
+  SyntheticTraceConfig cfg;
+  const auto trace = generate_heavy_noise_trace(cfg, 1);
+  EXPECT_EQ(trace.size(), cfg.length);
+  for (auto v : trace) {
+    EXPECT_GE(v, static_cast<std::int8_t>(cfg.min_dbm));
+    EXPECT_LE(v, static_cast<std::int8_t>(cfg.max_dbm));
+  }
+}
+
+TEST(SyntheticTrace, HasQuietFloorAndBursts) {
+  SyntheticTraceConfig cfg;
+  const auto trace = generate_heavy_noise_trace(cfg, 2);
+  int quiet = 0, loud = 0;
+  for (auto v : trace) {
+    if (v <= -94) ++quiet;
+    if (v >= -85) ++loud;
+  }
+  // Most of the trace sits at the floor; a visible minority is bursty.
+  EXPECT_GT(quiet, static_cast<int>(cfg.length / 2));
+  EXPECT_GT(loud, static_cast<int>(cfg.length / 100));
+  EXPECT_LT(loud, static_cast<int>(cfg.length / 3));
+}
+
+TEST(SyntheticTrace, DeterministicPerSeed) {
+  SyntheticTraceConfig cfg;
+  EXPECT_EQ(generate_heavy_noise_trace(cfg, 5), generate_heavy_noise_trace(cfg, 5));
+  EXPECT_NE(generate_heavy_noise_trace(cfg, 5), generate_heavy_noise_trace(cfg, 6));
+}
+
+TEST(CpmNoiseModel, MarginalMeanNearFloor) {
+  const auto trace = generate_heavy_noise_trace({}, 3);
+  CpmNoiseModel model(trace, 3);
+  EXPECT_GT(model.marginal_mean_dbm(), -101.0);
+  EXPECT_LT(model.marginal_mean_dbm(), -90.0);
+}
+
+TEST(CpmNoiseModel, GeneratorsAreDeterministicPerSeedStream) {
+  const auto trace = generate_heavy_noise_trace({}, 3);
+  CpmNoiseModel model(trace, 3);
+  auto a = model.make_generator(10, 1);
+  auto b = model.make_generator(10, 1);
+  auto c = model.make_generator(10, 2);
+  bool all_same = true, any_diff_c = false;
+  for (SimTime t = 0; t < 100 * kMillisecond; t += 2 * kMillisecond) {
+    const double va = a.noise_dbm(t);
+    const double vb = b.noise_dbm(t);
+    if (va != vb) all_same = false;
+    if (va != c.noise_dbm(t)) any_diff_c = true;
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(CpmNoiseModel, OutputStaysInTraceRange) {
+  SyntheticTraceConfig cfg;
+  const auto trace = generate_heavy_noise_trace(cfg, 4);
+  CpmNoiseModel model(trace, 3);
+  auto gen = model.make_generator(1, 1);
+  for (SimTime t = 0; t < 2 * kSecond; t += kMillisecond) {
+    const double v = gen.noise_dbm(t);
+    EXPECT_GE(v, cfg.min_dbm - 1);
+    EXPECT_LE(v, cfg.max_dbm + 1);
+  }
+}
+
+TEST(CpmNoiseModel, RepeatedQueriesAtSameTimeAreStable) {
+  const auto trace = generate_heavy_noise_trace({}, 4);
+  CpmNoiseModel model(trace, 3);
+  auto gen = model.make_generator(2, 2);
+  const double v1 = gen.noise_dbm(10 * kMillisecond);
+  const double v2 = gen.noise_dbm(10 * kMillisecond);
+  EXPECT_DOUBLE_EQ(v1, v2);
+}
+
+TEST(CpmNoiseModel, TemporalCorrelationExceedsShuffled) {
+  // CPM's purpose: consecutive samples correlate. Compare lag-1
+  // autocorrelation of the generated process against ~0 for white noise.
+  const auto trace = generate_heavy_noise_trace({}, 5);
+  CpmNoiseModel model(trace, 3);
+  auto gen = model.make_generator(3, 3);
+  std::vector<double> xs;
+  for (SimTime t = 0; t < 20 * kSecond; t += 2 * kMillisecond) {
+    xs.push_back(gen.noise_dbm(t));
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    num += (xs[i] - mean) * (xs[i + 1] - mean);
+  }
+  for (double x : xs) den += (x - mean) * (x - mean);
+  ASSERT_GT(den, 0.0);
+  EXPECT_GT(num / den, 0.2);  // clearly positive lag-1 autocorrelation
+}
+
+TEST(CpmNoiseModel, FarApartQueriesDecorrelate) {
+  const auto trace = generate_heavy_noise_trace({}, 6);
+  CpmNoiseModel model(trace, 3);
+  auto gen = model.make_generator(4, 4);
+  // Jumping far ahead must not loop forever (bounded catch-up) and must
+  // still return plausible values.
+  const double v = gen.noise_dbm(0);
+  const double w = gen.noise_dbm(3600 * kSecond);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(w));
+}
+
+}  // namespace
+}  // namespace telea

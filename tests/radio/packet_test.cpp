@@ -1,0 +1,107 @@
+#include "radio/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace telea {
+namespace {
+
+TEST(Packet, BroadcastDetection) {
+  Frame f;
+  EXPECT_TRUE(f.is_broadcast());
+  f.dst = 7;
+  EXPECT_FALSE(f.is_broadcast());
+}
+
+TEST(Packet, BeaconSizeGrowsWithClaim) {
+  Frame plain;
+  plain.payload = msg::CtpBeacon{};
+  Frame claiming;
+  msg::CtpBeacon b;
+  b.has_position_claim = true;
+  claiming.payload = b;
+  EXPECT_GT(wire_size_bytes(claiming), wire_size_bytes(plain));
+}
+
+TEST(Packet, TeleBeaconSizeGrowsWithEntries) {
+  msg::TeleBeacon tb;
+  tb.parent_code = BitString::from_string_unchecked("00101");
+  Frame empty;
+  empty.payload = tb;
+  tb.entries.resize(4);
+  Frame full;
+  full.payload = tb;
+  EXPECT_EQ(wire_size_bytes(full), wire_size_bytes(empty) + 4 * 5);
+}
+
+TEST(Packet, ControlPacketCodeLengthAffectsSize) {
+  msg::ControlPacket small;
+  small.dest_code = BitString::from_string_unchecked("0010");
+  msg::ControlPacket large;
+  large.dest_code = BitString::from_string_unchecked(std::string(40, '0'));
+  Frame fs, fl;
+  fs.payload = small;
+  fl.payload = large;
+  // 4 bits -> 1 byte, 40 bits -> 5 bytes of code.
+  EXPECT_EQ(wire_size_bytes(fl), wire_size_bytes(fs) + 4);
+}
+
+TEST(Packet, DetourAddsBytes) {
+  msg::ControlPacket p;
+  p.dest_code = BitString::from_string_unchecked("0010");
+  Frame without;
+  without.payload = p;
+  p.detour_via = 9;
+  p.detour_code = BitString::from_string_unchecked("01101");
+  Frame with;
+  with.payload = p;
+  EXPECT_GT(wire_size_bytes(with), wire_size_bytes(without));
+}
+
+TEST(Packet, FeedbackWrapsControl) {
+  msg::ControlPacket p;
+  p.dest_code = BitString::from_string_unchecked("0010");
+  Frame control;
+  control.payload = p;
+  msg::FeedbackPacket fb;
+  fb.packet = p;
+  Frame feedback;
+  feedback.payload = fb;
+  EXPECT_EQ(wire_size_bytes(feedback), wire_size_bytes(control) + 2);
+}
+
+TEST(Packet, AllTypesHavePlausibleSizes) {
+  // Every frame must fit a 127-byte 802.15.4 MPDU in typical configurations.
+  std::vector<Frame> frames;
+  frames.push_back({0, 1, 0, msg::CtpBeacon{}});
+  frames.push_back({0, 1, 0, msg::CtpData{}});
+  msg::TeleBeacon tb;
+  tb.entries.resize(10);
+  frames.push_back({0, 1, 0, tb});
+  frames.push_back({0, 1, 0, msg::PositionRequest{}});
+  frames.push_back({0, 1, 0, msg::AllocationAck{}});
+  frames.push_back({0, 1, 0, msg::ConfirmFrame{}});
+  frames.push_back({0, 1, 0, msg::ControlPacket{}});
+  frames.push_back({0, 1, 0, msg::FeedbackPacket{}});
+  frames.push_back({0, 1, 0, msg::DripMsg{}});
+  msg::RplDao dao;
+  dao.targets.resize(20);
+  frames.push_back({0, 1, 0, dao});
+  frames.push_back({0, 1, 0, msg::RplData{}});
+  for (const auto& f : frames) {
+    EXPECT_GE(wire_size_bytes(f), 13u);   // header + footer at least
+    EXPECT_LE(wire_size_bytes(f), 127u);  // 802.15.4 MPDU limit
+  }
+}
+
+TEST(Packet, CtpDataAckCarriageCostsBytes) {
+  msg::CtpData plain;
+  msg::CtpData ack;
+  ack.is_control_ack = true;
+  Frame fp, fa;
+  fp.payload = plain;
+  fa.payload = ack;
+  EXPECT_EQ(wire_size_bytes(fa), wire_size_bytes(fp) + 4);
+}
+
+}  // namespace
+}  // namespace telea

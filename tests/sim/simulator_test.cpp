@@ -1,0 +1,111 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ScheduleInAdvancesClock) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule_in(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  sim.schedule_in(50, [&] {
+    // From t=50, schedule into the past; must fire immediately-next.
+    sim.schedule_at(10, [&] { EXPECT_EQ(sim.now(), 50u); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(10, [&] { ++fired; });
+  sim.schedule_in(20, [&] { ++fired; });
+  sim.schedule_in(30, [&] { ++fired; });
+  const auto executed = sim.run_until(20);
+  EXPECT_EQ(executed, 2u);  // events at 10 and exactly 20 fire
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_in(10, chain);
+  };
+  sim.schedule_in(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, CancelStopsEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_in(10, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ResetClearsClockAndQueue) {
+  Simulator sim;
+  sim.schedule_in(10, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 10u);
+  sim.schedule_in(10, [] {});
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1, [&] { ++fired; });
+  sim.schedule_in(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step(10));
+}
+
+TEST(Simulator, TimeLiteralsAndConversions) {
+  EXPECT_EQ(1_s, 1000 * 1_ms);
+  EXPECT_EQ(1_min, 60 * 1_s);
+  EXPECT_EQ(1_h, 60 * 1_min);
+  EXPECT_DOUBLE_EQ(to_seconds(1500_ms), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(2_s), 2000.0);
+  EXPECT_EQ(from_seconds(2.5), 2500 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace telea

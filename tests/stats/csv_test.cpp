@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "stats/table.hpp"
+
+namespace telea {
+namespace {
+
+TEST(Csv, PlainFieldsUnquoted) {
+  TextTable t({"a", "b"});
+  t.row({"1", "2.5"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2.5\n");
+}
+
+TEST(Csv, FieldsWithSeparatorsQuoted) {
+  TextTable t({"name", "value"});
+  t.row({"hop, count", "line\nbreak"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"hop, count\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Csv, EmbeddedQuotesDoubled) {
+  TextTable t({"q"});
+  t.row({"say \"hi\""});
+  EXPECT_NE(t.render_csv().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, ShortRowsRenderTheirCells) {
+  TextTable t({"a", "b", "c"});
+  t.row({"only"});
+  EXPECT_EQ(t.render_csv(), "a,b,c\nonly\n");
+}
+
+TEST(Csv, WriteCsvRoundTrips) {
+  TextTable t({"x", "y"});
+  t.row({"1", "2"});
+  const std::string path = "/tmp/telea_csv_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "x,y\n1,2\n");
+}
+
+TEST(Csv, WriteCsvFailsOnBadPath) {
+  TextTable t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent/dir/file.csv"));
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,116 @@
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace telea {
+namespace {
+
+TEST(SummaryStats, BasicMoments) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(SummaryStats, EmptyIsZeroed) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, MergeEqualsCombinedStream) {
+  SummaryStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(GroupedStats, GroupsByKey) {
+  GroupedStats g;
+  g.add(1, 10.0);
+  g.add(1, 20.0);
+  g.add(2, 5.0);
+  ASSERT_EQ(g.groups().size(), 2u);
+  EXPECT_DOUBLE_EQ(g.groups().at(1).mean(), 15.0);
+  EXPECT_EQ(g.groups().at(2).count(), 1u);
+}
+
+TEST(GroupedStats, MergeAccumulates) {
+  GroupedStats a, b;
+  a.add(1, 1.0);
+  b.add(1, 3.0);
+  b.add(2, 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.groups().at(1).mean(), 2.0);
+  EXPECT_EQ(a.groups().at(2).count(), 1u);
+}
+
+TEST(Cdf, QuantilesAndAt) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.at(50), 0.5);
+  EXPECT_DOUBLE_EQ(c.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(1000), 1.0);
+  EXPECT_NEAR(c.quantile(0.9), 90, 1.01);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, InterleavedAddAndQuery) {
+  Cdf c;
+  c.add(5);
+  EXPECT_DOUBLE_EQ(c.at(5), 1.0);
+  c.add(10);
+  EXPECT_DOUBLE_EQ(c.at(5), 0.5);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"proto", "pdr"});
+  t.row({"Tele", "99.8%"});
+  t.row({"Drip", "100.0%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| proto"), std::string::npos);
+  EXPECT_NE(out.find("| Tele"), std::string::npos);
+  EXPECT_NE(out.find("| 100.0%"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, FmtHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmt_pct(0.998, 1), "99.8%");
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.row({"only-one"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace telea

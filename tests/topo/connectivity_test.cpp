@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+TEST(Connectivity, LineIsConnected) {
+  EXPECT_TRUE(is_connected(make_line(6, 20.0), 1));
+}
+
+TEST(Connectivity, FarApartPairIsNot) {
+  Topology topo = make_line(2, 20.0);
+  topo.positions[1].x = 5000.0;
+  EXPECT_FALSE(is_connected(topo, 1));
+}
+
+TEST(Connectivity, EmptyTopologyIsNot) {
+  Topology topo;
+  EXPECT_FALSE(is_connected(topo, 1));
+}
+
+TEST(Connectivity, SingleNodeIsConnected) {
+  Topology topo = make_line(1, 10.0);
+  EXPECT_TRUE(is_connected(topo, 1));
+}
+
+TEST(Connectivity, MarginTightensTheVerdict) {
+  // A topology that passes with generous margin can fail when headroom is
+  // demanded.
+  Topology topo = make_line(2, 20.0);  // nominal range 30 m
+  EXPECT_TRUE(is_connected(topo, 1, /*margin_db=*/0.0));
+  EXPECT_FALSE(is_connected(topo, 1, /*margin_db=*/-40.0));
+}
+
+TEST(Connectivity, MakeConnectedRandomAlwaysConnected) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    const Topology topo = make_connected_random(15, 60.0, seed);
+    EXPECT_EQ(topo.size(), 15u);
+    EXPECT_TRUE(is_connected(topo, seed)) << "seed " << seed;
+  }
+}
+
+TEST(Connectivity, PaperTopologiesAreConnected) {
+  EXPECT_TRUE(is_connected(make_tight_grid(1), 1, 0.0));
+  EXPECT_TRUE(is_connected(make_indoor_testbed(1), 1, 0.0));
+}
+
+}  // namespace
+}  // namespace telea

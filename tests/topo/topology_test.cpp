@@ -1,0 +1,94 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/phy.hpp"
+
+namespace telea {
+namespace {
+
+TEST(Topology, TightGridHas225NodesInField) {
+  const Topology t = make_tight_grid(1);
+  EXPECT_EQ(t.size(), 225u);
+  EXPECT_EQ(t.name, "Tight-grid");
+  for (const auto& p : t.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 200.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 200.0);
+  }
+  // Sink at the center.
+  EXPECT_NEAR(t.positions[0].x, 100.0, 1e-9);
+  EXPECT_NEAR(t.positions[0].y, 100.0, 1e-9);
+}
+
+TEST(Topology, SparseLinearHas225NodesInLongField) {
+  const Topology t = make_sparse_linear(1);
+  EXPECT_EQ(t.size(), 225u);
+  for (const auto& p : t.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 60.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 600.0);
+  }
+  // Sink at one endpoint of the field.
+  EXPECT_NEAR(t.positions[0].y, 0.0, 1e-9);
+}
+
+TEST(Topology, SparseLinearLossierThanTightGrid) {
+  // "High gain" vs "low gain": the sparse-linear field uses a shorter
+  // nominal range, i.e. higher reference loss.
+  EXPECT_GT(make_sparse_linear(1).path_loss.loss_at_reference_db,
+            make_tight_grid(1).path_loss.loss_at_reference_db);
+}
+
+TEST(Topology, IndoorTestbedHas40NodesAtLowPower) {
+  const Topology t = make_indoor_testbed(1);
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_DOUBLE_EQ(t.tx_power_dbm, Cc2420Phy::tx_power_dbm(2));
+}
+
+TEST(Topology, IndoorBoardNodesOnTwoRows) {
+  const Topology t = make_indoor_testbed(1);
+  // Nodes 1..21 are board slots: y is 0 or 1.8.
+  for (std::size_t i = 1; i <= 21; ++i) {
+    EXPECT_TRUE(t.positions[i].y == 0.0 || t.positions[i].y == 1.8)
+        << "node " << i;
+  }
+}
+
+TEST(Topology, UniformRandomRespectsBounds) {
+  const Topology t = make_uniform_random(30, 120.0, 9);
+  EXPECT_EQ(t.size(), 30u);
+  for (const auto& p : t.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 120.0);
+  }
+}
+
+TEST(Topology, LineIsEvenlySpacedAndDeterministic) {
+  const Topology t = make_line(5, 10.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(t.positions[i].x, static_cast<double>(i) * 10.0);
+    EXPECT_DOUBLE_EQ(t.positions[i].y, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(t.path_loss.shadowing_sigma_db, 0.0);
+}
+
+TEST(Topology, GeneratorsDeterministicPerSeed) {
+  const Topology a = make_tight_grid(5);
+  const Topology b = make_tight_grid(5);
+  const Topology c = make_tight_grid(6);
+  EXPECT_DOUBLE_EQ(a.positions[10].x, b.positions[10].x);
+  EXPECT_NE(a.positions[10].x, c.positions[10].x);
+}
+
+TEST(Topology, AllExactly225ForPaperFields) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    EXPECT_EQ(make_tight_grid(seed).size(), 225u);
+    EXPECT_EQ(make_sparse_linear(seed).size(), 225u);
+  }
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,234 @@
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace telea {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.to_string(), "");
+}
+
+TEST(BitString, FromStringRoundTrips) {
+  const std::string s = "0010100111";
+  BitString b = BitString::from_string_unchecked(s);
+  EXPECT_EQ(b.size(), s.size());
+  EXPECT_EQ(b.to_string(), s);
+}
+
+TEST(BitString, FromStringRejectsBadChars) {
+  BitString out;
+  EXPECT_FALSE(BitString::from_string("01x1", out));
+  EXPECT_FALSE(BitString::from_string("012", out));
+  EXPECT_TRUE(BitString::from_string("", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BitString, FromStringRejectsOverCapacity) {
+  const std::string too_long(BitString::kCapacity + 1, '0');
+  BitString out;
+  EXPECT_FALSE(BitString::from_string(too_long, out));
+  const std::string max_len(BitString::kCapacity, '1');
+  EXPECT_TRUE(BitString::from_string(max_len, out));
+  EXPECT_EQ(out.size(), BitString::kCapacity);
+}
+
+TEST(BitString, PushBackAndBit) {
+  BitString b;
+  EXPECT_TRUE(b.push_back(true));
+  EXPECT_TRUE(b.push_back(false));
+  EXPECT_TRUE(b.push_back(true));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+}
+
+TEST(BitString, PushBackFailsAtCapacity) {
+  BitString b;
+  for (std::size_t i = 0; i < BitString::kCapacity; ++i) {
+    ASSERT_TRUE(b.push_back(i % 2 == 0));
+  }
+  EXPECT_FALSE(b.push_back(true));
+  EXPECT_EQ(b.size(), BitString::kCapacity);
+}
+
+TEST(BitString, SetBit) {
+  BitString b = BitString::from_string_unchecked("0000");
+  b.set_bit(2, true);
+  EXPECT_EQ(b.to_string(), "0010");
+  b.set_bit(2, false);
+  EXPECT_EQ(b.to_string(), "0000");
+}
+
+TEST(BitString, AppendBitsMsbFirst) {
+  BitString b = BitString::from_string_unchecked("01");
+  ASSERT_TRUE(b.append_bits(0b10110, 5));
+  EXPECT_EQ(b.to_string(), "0110110");
+}
+
+TEST(BitString, AppendBitsZeroWidthIsNoop) {
+  BitString b = BitString::from_string_unchecked("11");
+  EXPECT_TRUE(b.append_bits(0, 0));
+  EXPECT_EQ(b.to_string(), "11");
+}
+
+TEST(BitString, AppendBitsRejectsOverflow) {
+  BitString b;
+  for (std::size_t i = 0; i < BitString::kCapacity / 64; ++i) {
+    ASSERT_TRUE(b.append_bits(0, 64));
+  }
+  EXPECT_FALSE(b.append_bits(1, 1));
+  EXPECT_FALSE(b.append_bits(0, 65));
+}
+
+TEST(BitString, AppendBitString) {
+  BitString a = BitString::from_string_unchecked("001");
+  BitString b = BitString::from_string_unchecked("11");
+  ASSERT_TRUE(a.append(b));
+  EXPECT_EQ(a.to_string(), "00111");
+}
+
+TEST(BitString, TruncateBackAndResizeFront) {
+  BitString b = BitString::from_string_unchecked("101101");
+  b.truncate_back(2);
+  EXPECT_EQ(b.to_string(), "1011");
+  b.resize_front(2);
+  EXPECT_EQ(b.to_string(), "10");
+}
+
+TEST(BitString, ResizeClearsPaddingBitsForEquality) {
+  BitString a = BitString::from_string_unchecked("1111");
+  a.resize_front(2);
+  BitString b = BitString::from_string_unchecked("11");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(BitString, PrefixExtraction) {
+  BitString b = BitString::from_string_unchecked("0010101");
+  EXPECT_EQ(b.prefix(3).to_string(), "001");
+  EXPECT_EQ(b.prefix(0).to_string(), "");
+  EXPECT_EQ(b.prefix(7).to_string(), "0010101");
+}
+
+TEST(BitString, ExtractBits) {
+  BitString b = BitString::from_string_unchecked("00101101");
+  EXPECT_EQ(b.extract_bits(2, 4), 0b1011u);
+  EXPECT_EQ(b.extract_bits(0, 8), 0b00101101u);
+  EXPECT_EQ(b.extract_bits(7, 1), 1u);
+}
+
+TEST(BitString, IsPrefixOf) {
+  BitString parent = BitString::from_string_unchecked("001");
+  BitString child = BitString::from_string_unchecked("00101");
+  BitString other = BitString::from_string_unchecked("010");
+  EXPECT_TRUE(parent.is_prefix_of(child));
+  EXPECT_TRUE(parent.is_prefix_of(parent));
+  EXPECT_FALSE(child.is_prefix_of(parent));
+  EXPECT_FALSE(other.is_prefix_of(child));
+  EXPECT_TRUE(BitString{}.is_prefix_of(child));
+}
+
+TEST(BitString, CommonPrefixLen) {
+  BitString a = BitString::from_string_unchecked("0010110");
+  BitString b = BitString::from_string_unchecked("0010011");
+  EXPECT_EQ(a.common_prefix_len(b), 4u);
+  EXPECT_EQ(b.common_prefix_len(a), 4u);
+  EXPECT_EQ(a.common_prefix_len(a), 7u);
+  EXPECT_EQ(a.common_prefix_len(BitString{}), 0u);
+}
+
+TEST(BitString, CommonPrefixAcrossWordBoundary) {
+  std::string s(70, '1');
+  BitString a = BitString::from_string_unchecked(s);
+  std::string t = s;
+  t[65] = '0';
+  BitString b = BitString::from_string_unchecked(t);
+  EXPECT_EQ(a.common_prefix_len(b), 65u);
+}
+
+TEST(BitString, LexicographicOrder) {
+  BitString a = BitString::from_string_unchecked("001");
+  BitString b = BitString::from_string_unchecked("010");
+  BitString c = BitString::from_string_unchecked("0010");
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // equal bits, shorter first
+  EXPECT_FALSE(b < a);
+}
+
+TEST(BitString, ToDisplayPadsWithDashes) {
+  BitString b = BitString::from_string_unchecked("00101");
+  EXPECT_EQ(b.to_display(8), "00101---");
+  EXPECT_EQ(b.to_display(3), "00101");
+}
+
+TEST(BitString, HashDiffersByLength) {
+  BitString a = BitString::from_string_unchecked("00");
+  BitString b = BitString::from_string_unchecked("000");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a, b);
+}
+
+/// Property: for random strings, a prefix is always a prefix, and
+/// common_prefix_len agrees with a naive reference implementation.
+class BitStringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitStringProperty, PrefixAndCommonPrefixAgreeWithReference) {
+  Pcg32 rng(GetParam(), 99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t len = rng.uniform(100) + 1;
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) s.push_back(rng.chance(0.5) ? '1' : '0');
+    BitString b = BitString::from_string_unchecked(s);
+
+    const std::size_t cut = rng.uniform(static_cast<std::uint32_t>(len + 1));
+    BitString p = b.prefix(cut);
+    EXPECT_TRUE(p.is_prefix_of(b));
+    EXPECT_EQ(p.common_prefix_len(b), cut);
+
+    // Mutate one bit after the cut (when possible): prefix relation breaks
+    // exactly when the mutated position is inside the prefix.
+    if (len > 0) {
+      std::string t = s;
+      const std::size_t flip = rng.uniform(static_cast<std::uint32_t>(len));
+      t[flip] = t[flip] == '0' ? '1' : '0';
+      BitString m = BitString::from_string_unchecked(t);
+      EXPECT_EQ(b.common_prefix_len(m), flip);
+    }
+  }
+}
+
+TEST_P(BitStringProperty, AppendBitsMatchesStringConcatenation) {
+  Pcg32 rng(GetParam(), 123);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t base_len = rng.uniform(60);
+    std::string s;
+    for (std::size_t i = 0; i < base_len; ++i) {
+      s.push_back(rng.chance(0.5) ? '1' : '0');
+    }
+    BitString b = BitString::from_string_unchecked(s);
+    const std::size_t width = rng.uniform(16) + 1;
+    const std::uint64_t value = rng.next() & ((1ULL << width) - 1);
+    ASSERT_TRUE(b.append_bits(value, width));
+    std::string expected = s;
+    for (std::size_t i = 0; i < width; ++i) {
+      expected.push_back(((value >> (width - 1 - i)) & 1) ? '1' : '0');
+    }
+    EXPECT_EQ(b.to_string(), expected);
+    EXPECT_EQ(b.extract_bits(base_len, width), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStringProperty,
+                         ::testing::Values(1, 2, 3, 17, 1234));
+
+}  // namespace
+}  // namespace telea

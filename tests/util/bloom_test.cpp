@@ -1,0 +1,90 @@
+#include "util/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace telea {
+namespace {
+
+TEST(Bloom, InsertedIdsAlwaysContained) {
+  OrplBloom b;
+  for (NodeId id = 0; id < 40; ++id) {
+    b.insert(id);
+    EXPECT_TRUE(b.contains(id));
+  }
+  // No false negatives, ever.
+  for (NodeId id = 0; id < 40; ++id) EXPECT_TRUE(b.contains(id));
+}
+
+TEST(Bloom, EmptyContainsNothing) {
+  OrplBloom b;
+  EXPECT_TRUE(b.empty());
+  for (NodeId id = 0; id < 100; ++id) EXPECT_FALSE(b.contains(id));
+}
+
+TEST(Bloom, MergeIsUnion) {
+  OrplBloom a, b;
+  a.insert(1);
+  a.insert(2);
+  b.insert(3);
+  a.merge(b);
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(a.contains(3));
+}
+
+TEST(Bloom, ClearEmpties) {
+  OrplBloom b;
+  b.insert(7);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.contains(7));
+}
+
+TEST(Bloom, FalsePositivesExistAtLoad) {
+  // A 64-bit filter with 2 hashes and ~30 members must exhibit false
+  // positives — the property the paper's ORPL critique rests on.
+  OrplBloom b;
+  for (NodeId id = 0; id < 30; ++id) b.insert(id);
+  unsigned fp = 0;
+  for (NodeId probe = 1000; probe < 2000; ++probe) {
+    if (b.contains(probe)) ++fp;
+  }
+  EXPECT_GT(fp, 10u);    // clearly present...
+  EXPECT_LT(fp, 900u);   // ...but not total saturation
+}
+
+TEST(Bloom, FalsePositiveRateGrowsWithLoad) {
+  auto fp_rate = [](unsigned members) {
+    OrplBloom b;
+    for (NodeId id = 0; id < members; ++id) b.insert(id);
+    unsigned fp = 0;
+    for (NodeId probe = 5000; probe < 7000; ++probe) {
+      if (b.contains(probe)) ++fp;
+    }
+    return fp;
+  };
+  EXPECT_LT(fp_rate(4), fp_rate(40));
+}
+
+TEST(Bloom, PopcountTracksLoad) {
+  OrplBloom b;
+  EXPECT_EQ(b.popcount(), 0u);
+  b.insert(1);
+  const unsigned one = b.popcount();
+  EXPECT_GE(one, 1u);
+  EXPECT_LE(one, 2u);  // <= Hashes bits
+  for (NodeId id = 2; id < 20; ++id) b.insert(id);
+  EXPECT_GT(b.popcount(), one);
+}
+
+TEST(Bloom, EqualityByContent) {
+  OrplBloom a, b;
+  a.insert(5);
+  b.insert(5);
+  EXPECT_TRUE(a == b);
+  b.insert(6);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace telea

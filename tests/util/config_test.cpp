@@ -1,0 +1,124 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace telea {
+namespace {
+
+Config args(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> v(tokens);
+  return Config::from_args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Config, ParsesKeyValueTokens) {
+  const Config c = args({"topology=indoor", "nodes=40", "wifi=true"});
+  EXPECT_EQ(c.get_string("topology"), "indoor");
+  EXPECT_EQ(c.get_int("nodes"), 40);
+  EXPECT_TRUE(c.get_bool("wifi"));
+}
+
+TEST(Config, PositionalTokensCollected) {
+  const Config c = args({"run", "k=v", "fast"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "run");
+  EXPECT_EQ(c.positional()[1], "fast");
+}
+
+TEST(Config, LaterValuesOverride) {
+  const Config c = args({"seed=1", "seed=2"});
+  EXPECT_EQ(c.get_int("seed"), 1 + 1);
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  const Config c = args({});
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, CheckedGettersRejectGarbage) {
+  const Config c = args({"n=12x", "d=abc", "b=maybe"});
+  EXPECT_FALSE(c.get_int_checked("n").has_value());
+  EXPECT_FALSE(c.get_double_checked("d").has_value());
+  EXPECT_FALSE(c.get_bool_checked("b").has_value());
+  // Unchecked getters fall back to defaults.
+  EXPECT_EQ(c.get_int("n", 5), 5);
+}
+
+TEST(Config, BoolSynonyms) {
+  const Config c = args({"a=YES", "b=off", "c=1", "d=False"});
+  EXPECT_TRUE(c.get_bool("a"));
+  EXPECT_FALSE(c.get_bool("b"));
+  EXPECT_TRUE(c.get_bool("c"));
+  EXPECT_FALSE(c.get_bool("d"));
+}
+
+TEST(Config, NumericFormats) {
+  const Config c = args({"hex=0x10", "neg=-3", "f=2.5e2"});
+  EXPECT_EQ(c.get_int("hex"), 16);
+  EXPECT_EQ(c.get_int("neg"), -3);
+  EXPECT_DOUBLE_EQ(c.get_double("f"), 250.0);
+}
+
+TEST(Config, MergeOtherWins) {
+  Config a = args({"x=1", "y=1"});
+  const Config b = args({"y=2", "z=2"});
+  a.merge(b);
+  EXPECT_EQ(a.get_int("x"), 1);
+  EXPECT_EQ(a.get_int("y"), 2);
+  EXPECT_EQ(a.get_int("z"), 2);
+}
+
+TEST(Config, FromFileParsesAndStripsComments) {
+  const std::string path = "/tmp/telea_config_test.cfg";
+  {
+    std::ofstream f(path);
+    f << "# scenario\n"
+      << "topology = sparse   # the long field\n"
+      << "\n"
+      << "seed=9\n";
+  }
+  const auto c = Config::from_file(path);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->get_string("topology"), "sparse");
+  EXPECT_EQ(c->get_int("seed"), 9);
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileRejectsMalformedLine) {
+  const std::string path = "/tmp/telea_config_bad.cfg";
+  {
+    std::ofstream f(path);
+    f << "just-a-word\n";
+  }
+  EXPECT_FALSE(Config::from_file(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileMissingIsNullopt) {
+  EXPECT_FALSE(Config::from_file("/nonexistent/telea.cfg").has_value());
+}
+
+TEST(Config, UnusedKeysTracksReads) {
+  const Config c = args({"used=1", "typo=2"});
+  (void)c.get_int("used");
+  const auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Config, KeysSorted) {
+  const Config c = args({"b=1", "a=2"});
+  const auto k = c.keys();
+  ASSERT_EQ(k.size(), 2u);
+  EXPECT_EQ(k[0], "a");
+  EXPECT_EQ(k[1], "b");
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,46 @@
+#include "util/dbm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace telea {
+namespace {
+
+TEST(Dbm, RoundTrip) {
+  for (double dbm = -110; dbm <= 10; dbm += 7.3) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Dbm, KnownValues) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(dbm_to_mw(-30.0), 0.001, 1e-12);
+}
+
+TEST(Dbm, AdditionOfEqualPowersAddsThreeDb) {
+  EXPECT_NEAR(dbm_add(-90.0, -90.0), -90.0 + 10.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(Dbm, AdditionDominatedByStronger) {
+  // A signal 30 dB above another barely moves the sum.
+  EXPECT_NEAR(dbm_add(-60.0, -90.0), -60.0, 0.01);
+}
+
+TEST(Dbm, MwToDbmClampsAtFloor) {
+  const double v = mw_to_dbm(0.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(v, -150.0);
+}
+
+TEST(Dbm, SinrIsDifference) {
+  EXPECT_NEAR(sinr_db(-70.0, -95.0), 25.0, 1e-12);
+}
+
+TEST(Dbm, DbToLinear) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(db_to_linear(-10.0), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace telea

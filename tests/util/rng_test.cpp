@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace telea {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeedAndStream) {
+  Pcg32 a(42, 1), b(42, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformBoundRespected) {
+  Pcg32 rng(7, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Pcg32, UniformInInclusiveRange) {
+  Pcg32 rng(7, 9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_in(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, Uniform01InHalfOpenInterval) {
+  Pcg32 rng(11, 3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, NormalMomentsRoughlyCorrect) {
+  Pcg32 rng(5, 5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.06);
+}
+
+TEST(Pcg32, NormalWithParams) {
+  Pcg32 rng(5, 6);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(-90.0, 4.0);
+  EXPECT_NEAR(sum / n, -90.0, 0.2);
+}
+
+TEST(Pcg32, ExponentialMean) {
+  Pcg32 rng(8, 2);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(50.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 50.0, 2.5);
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng(3, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Pcg32, WorksWithStdDistributionsInterface) {
+  // Satisfies UniformRandomBitGenerator.
+  static_assert(Pcg32::min() == 0);
+  static_assert(Pcg32::max() == 0xFFFFFFFFu);
+  Pcg32 rng;
+  EXPECT_GE(rng(), Pcg32::min());
+}
+
+}  // namespace
+}  // namespace telea
