@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "harness/network.hpp"
 #include "stats/table.hpp"
 #include "topo/topology.hpp"
+#include "util/logging.hpp"
 
 namespace telea::bench {
 
@@ -86,16 +88,26 @@ inline const char* channel_name(bool wifi) {
   return wifi ? "ch19 (WiFi)" : "ch26 (clean)";
 }
 
-/// Prints the table; when TELEA_CSV_DIR is set, also writes
-/// $TELEA_CSV_DIR/<name>.csv — plot-ready artifacts next to the console
-/// rendering.
+/// Prints the table and writes a machine-readable JSON summary to
+/// $TELEA_RESULTS_DIR/<name>.json (default bench_results/). When
+/// TELEA_CSV_DIR is set, also writes $TELEA_CSV_DIR/<name>.csv — plot-ready
+/// artifacts next to the console rendering.
 inline void emit_table(const TextTable& table, const std::string& name) {
   table.print();
   if (const char* dir = std::getenv("TELEA_CSV_DIR")) {
     const std::string path = std::string(dir) + "/" + name + ".csv";
     if (!table.write_csv(path)) {
-      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      TELEA_WARN("bench") << "could not write " << path;
     }
+  }
+  const char* results_env = std::getenv("TELEA_RESULTS_DIR");
+  const std::string results_dir =
+      results_env != nullptr ? results_env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(results_dir, ec);
+  const std::string json_path = results_dir + "/" + name + ".json";
+  if (ec || !table.write_json(name, json_path)) {
+    TELEA_WARN("bench") << "could not write " << json_path;
   }
 }
 

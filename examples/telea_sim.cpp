@@ -22,20 +22,38 @@
 //   ipi=600             data-collection inter-packet interval seconds (600)
 //   csv=DIR             write metric CSVs into DIR
 //   dot=FILE            write a GraphViz snapshot of the converged network
+//   trace=FILE          export the decision trace as JSONL to FILE
+//                       (feed it to telea_explain to reconstruct packets)
+//   metrics=DIR         write metrics.prom + metrics.json into DIR
+//   profile=false       collect + print simulator self-profiling stats
+//   log=warn            trace | debug | info | warn | error | off
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "harness/experiment.hpp"
 #include "harness/topology_export.hpp"
 #include "stats/table.hpp"
 #include "topo/topology.hpp"
 #include "util/config.hpp"
+#include "util/logging.hpp"
 
 using namespace telea;
 using namespace telea::time_literals;
 
 namespace {
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 std::optional<ControlProtocol> parse_protocol(const std::string& name) {
   if (name == "tele") return ControlProtocol::kTele;
@@ -93,6 +111,14 @@ int main(int argc, char** argv) {
     cfg = merged;
   }
 
+  const auto log_level = parse_log_level(cfg.get_string("log", "warn"));
+  if (!log_level.has_value()) {
+    std::fprintf(stderr,
+                 "error: unknown log level (trace|debug|info|warn|error|off)\n");
+    return 2;
+  }
+  Logger::set_level(*log_level);
+
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   const auto protocol = parse_protocol(cfg.get_string("protocol", "retele"));
   if (!protocol.has_value()) {
@@ -120,18 +146,49 @@ int main(int argc, char** argv) {
   experiment.data_ipi = static_cast<SimTime>(cfg.get_int("ipi", 600)) * kSecond;
   const std::string csv_dir = cfg.get_string("csv");
   const std::string dot_path = cfg.get_string("dot");
-  if (!dot_path.empty()) {
-    experiment.on_warmed_up = [dot_path](Network& net) {
-      if (!write_topology_dot(net, dot_path)) {
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     dot_path.c_str());
+  const std::string trace_path = cfg.get_string("trace");
+  const std::string metrics_dir = cfg.get_string("metrics");
+  const bool profile = cfg.get_bool("profile", false);
+
+  experiment.on_warmed_up = [dot_path, trace_path, profile](Network& net) {
+    if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
+      TELEA_WARN("telea_sim") << "could not write " << dot_path;
+    }
+    if (!trace_path.empty()) net.enable_tracing();
+    if (profile) net.sim().set_profiling(true);
+  };
+  experiment.on_finished = [trace_path, metrics_dir, profile](Network& net) {
+    if (!trace_path.empty()) {
+      if (net.tracer()->write_jsonl(trace_path)) {
+        std::printf("trace: %zu records -> %s (%llu dropped)\n",
+                    net.tracer()->size(), trace_path.c_str(),
+                    static_cast<unsigned long long>(net.tracer()->dropped()));
+      } else {
+        TELEA_WARN("telea_sim") << "could not write " << trace_path;
       }
-    };
-  }
+    }
+    if (!metrics_dir.empty()) {
+      MetricsRegistry registry;
+      net.collect_metrics(registry);
+      std::error_code ec;
+      std::filesystem::create_directories(metrics_dir, ec);
+      const std::string prom = metrics_dir + "/metrics.prom";
+      const std::string json = metrics_dir + "/metrics.json";
+      if (ec || !registry.write_prometheus(prom) || !registry.write_json(json)) {
+        TELEA_WARN("telea_sim") << "could not write metrics into "
+                                << metrics_dir;
+      } else {
+        std::printf("metrics: %zu instruments -> %s, %s\n", registry.size(),
+                    prom.c_str(), json.c_str());
+      }
+    }
+    if (profile) {
+      std::printf("\nsimulator profile:\n%s", net.sim().profile().render().c_str());
+    }
+  };
 
   for (const auto& key : cfg.unused_keys()) {
-    std::fprintf(stderr, "warning: unknown option '%s' ignored\n",
-                 key.c_str());
+    TELEA_WARN("telea_sim") << "unknown option '" << key << "' ignored";
   }
 
   std::printf("telea_sim: %s, %zu nodes, protocol %s, %s, seed %llu\n",

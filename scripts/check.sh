@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds the project and runs the tier-1 test suite twice: once in the
+# default configuration and once instrumented with ASan + UBSan
+# (-DTELEA_SANITIZE=address;undefined). Usage:
+#
+#   scripts/check.sh              # both passes
+#   scripts/check.sh --fast       # default pass only
+#   scripts/check.sh --san-only   # sanitizer pass only
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+run_plain=1
+run_san=1
+for arg in "$@"; do
+  case "$arg" in
+    --fast) run_san=0 ;;
+    --san-only) run_plain=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+build_and_test() {
+  local dir="$1"; shift
+  cmake -S "$repo" -B "$dir" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [ "$run_plain" = 1 ]; then
+  echo "== default build + tests =="
+  build_and_test "$repo/build"
+fi
+
+if [ "$run_san" = 1 ]; then
+  echo "== ASan/UBSan build + tests =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  build_and_test "$repo/build-asan" "-DTELEA_SANITIZE=address;undefined"
+fi
+
+echo "all checks passed"

@@ -169,6 +169,8 @@ AckDecision Forwarding::handle_control(NodeId from,
         from != me) {
       st.holding = false;
       ++stats_.suppressions;
+      TELEA_TRACE_EVENT(tracer_, sim_->now(), me, TraceEvent::kSuppress,
+                        packet.seqno, from);
       if (st.mac_token.has_value()) {
         mac_->cancel_send(*st.mac_token);
         st.mac_token.reset();
@@ -180,16 +182,21 @@ AckDecision Forwarding::handle_control(NodeId from,
   // --- claim conditions (Sec. III-C) --------------------------------------
   const NodeId target = route_target(packet);
   bool claim_it = false;
+  TraceReason claim_reason = TraceReason::kNone;
   if (me == target) {
     claim_it = true;  // detour waypoint: we finish with a direct unicast
+    claim_reason = TraceReason::kExpectedRelay;
   } else if (me == packet.expected_relay) {
     claim_it = true;  // condition (1)
+    claim_reason = TraceReason::kExpectedRelay;
   } else if (config_.opportunistic) {
     const std::size_t mine = own_match_len(packet);
     if (mine > packet.expected_relay_code_len) {
       claim_it = true;  // condition (2)
+      claim_reason = TraceReason::kLongerPrefix;
     } else if (config_.neighbor_assist && neighbor_can_progress(packet)) {
       claim_it = true;  // condition (3)
+      claim_reason = TraceReason::kNeighborPrefix;
     }
   }
 
@@ -209,6 +216,8 @@ AckDecision Forwarding::handle_control(NodeId from,
       return AckDecision::kIgnore;
     }
   }
+  TELEA_TRACE_EVENT(tracer_, sim_->now(), me, TraceEvent::kForwardDecision,
+                    packet.seqno, from, claim_reason);
   claim(from, packet);
   return AckDecision::kAcceptAndAck;
 }
@@ -239,7 +248,8 @@ void Forwarding::claim(NodeId from, const msg::ControlPacket& packet) {
   // (which may have missed our ack) hears a re-ack and stops, instead of
   // recruiting a second claimant while we are deaf mid-transmission.
   const std::uint32_t seqno = packet.seqno;
-  sim_->schedule_in(config_.claim_defer, [this, seqno] { defer_check(seqno); });
+  sim_->schedule_in(config_.claim_defer, [this, seqno] { defer_check(seqno); },
+                    "fwd.defer");
 }
 
 void Forwarding::defer_check(std::uint32_t seqno) {
@@ -250,8 +260,8 @@ void Forwarding::defer_check(std::uint32_t seqno) {
   const SimTime now = sim_->now();
   if (now < st.defer_deadline) {
     // Duplicates extended the quiet period: re-check at the new deadline.
-    sim_->schedule_at(st.defer_deadline,
-                      [this, seqno] { defer_check(seqno); });
+    sim_->schedule_at(st.defer_deadline, [this, seqno] { defer_check(seqno); },
+                      "fwd.defer");
     return;
   }
   if (st.dup_acks >= config_.claim_yield_dups) {
@@ -264,6 +274,8 @@ void Forwarding::defer_check(std::uint32_t seqno) {
     st.holding = false;
     st.done = false;
     ++stats_.yields;
+    TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kSuppress,
+                      seqno, st.came_from, TraceReason::kRetryExhausted);
     return;
   }
   forward(seqno);
@@ -305,7 +317,8 @@ void Forwarding::forward(std::uint32_t seqno) {
     if (st.mac_token.has_value()) {
       ++stats_.forwards;
     } else {
-      sim_->schedule_in(kSecond, [this, seqno] { forward(seqno); });
+      sim_->schedule_in(kSecond, [this, seqno] { forward(seqno); },
+                        "fwd.retry");
     }
     return;
   }
@@ -314,7 +327,7 @@ void Forwarding::forward(std::uint32_t seqno) {
   // progress floor fixed at claim time (stable across retries).
   const auto candidate = pick_expected_relay(packet, st.floor);
   if (!candidate.has_value()) {
-    backtrack(seqno);
+    backtrack(seqno, TraceReason::kNeighborUnreachable);
     return;
   }
   packet.expected_relay = candidate->id;
@@ -340,7 +353,7 @@ void Forwarding::forward(std::uint32_t seqno) {
   if (st.mac_token.has_value()) {
     ++stats_.forwards;
   } else {
-    sim_->schedule_in(kSecond, [this, seqno] { forward(seqno); });
+    sim_->schedule_in(kSecond, [this, seqno] { forward(seqno); }, "fwd.retry");
   }
 }
 
@@ -378,14 +391,16 @@ void Forwarding::on_forward_result(std::uint32_t seqno,
     forward(seqno);
     return;
   }
-  backtrack(seqno);
+  backtrack(seqno, TraceReason::kRetryExhausted);
 }
 
-void Forwarding::backtrack(std::uint32_t seqno) {
+void Forwarding::backtrack(std::uint32_t seqno, TraceReason reason) {
   PacketState& st = states_[seqno];
   st.holding = false;
   TELEA_DEBUG("tele.fwd") << "node " << mac_->id() << " seq " << seqno
                           << " backtracks to " << st.came_from;
+  TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kBacktrack,
+                    seqno, st.came_from, reason);
 
   // Mark every on-path candidate we could not reach as unreachable until
   // their next routing beacon (Sec. III-C3).
@@ -419,7 +434,7 @@ void Forwarding::backtrack(std::uint32_t seqno) {
         state.holding = true;
         state.attempts = 0;
         forward(seq);
-      });
+      }, "fwd.origin_retry");
       return;
     }
     ++stats_.origin_failures;
@@ -503,6 +518,15 @@ AckDecision Forwarding::handle_feedback(NodeId from,
   if (!can_progress) return AckDecision::kIgnore;
   addressing_->neighbors().mark_unreachable(from, sim_->now());
   ++stats_.feedback_claims;
+  const TraceReason rescue_reason =
+      (packet.dest == mac_->id() || packet.expected_relay == mac_->id())
+          ? TraceReason::kExpectedRelay
+          : (mine > 0 && mine >= packet.expected_relay_code_len)
+                ? TraceReason::kLongerPrefix
+                : TraceReason::kNeighborPrefix;
+  TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(),
+                    TraceEvent::kForwardDecision, packet.seqno, from,
+                    rescue_reason);
   claim(from, packet);
   return AckDecision::kAcceptAndAck;
 }

@@ -9,6 +9,7 @@
 #include "mac/lpl.hpp"
 #include "net/ctp.hpp"
 #include "sim/simulator.hpp"
+#include "stats/trace.hpp"
 
 namespace telea {
 
@@ -134,6 +135,10 @@ class Forwarding {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Attaches a decision tracer (claim/suppress/backtrack events with
+  /// reasons). Pass nullptr to detach; recording is a null-check when unset.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
   struct Candidate {
     NodeId id = kInvalidNode;
     std::size_t code_len = 0;
@@ -200,7 +205,7 @@ class Forwarding {
   void deliver(const msg::ControlPacket& packet, bool direct);
   void forward(std::uint32_t seqno);
   void on_forward_result(std::uint32_t seqno, const SendResult& result);
-  void backtrack(std::uint32_t seqno);
+  void backtrack(std::uint32_t seqno, TraceReason reason);
   void send_feedback(std::uint32_t seqno, unsigned attempt);
   void defer_check(std::uint32_t seqno);
 
@@ -215,6 +220,7 @@ class Forwarding {
   std::unordered_map<std::uint32_t, PacketState> states_;
   std::uint32_t next_seqno_ = 1;
   Stats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace telea

@@ -94,6 +94,13 @@ class TeleAdjusting final : public CtpListener {
   /// with Re-Tele disabled, after backtracking exhausted).
   std::function<void(std::uint32_t seqno)> on_delivery_failed;
 
+  /// Attaches a decision tracer to this protocol instance (redirects and
+  /// ack-path hops here, claim/suppress/backtrack in the forwarding plane).
+  void set_tracer(Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    forwarding_.set_tracer(tracer);
+  }
+
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] Addressing& addressing() noexcept { return addressing_; }
   [[nodiscard]] const Addressing& addressing() const noexcept {
@@ -120,6 +127,7 @@ class TeleAdjusting final : public CtpListener {
   Forwarding forwarding_;
   GroupControl group_;
   ControllerHook controller_hook_;
+  Tracer* tracer_ = nullptr;
   // Track which seqnos already used their Re-Tele attempt so a second
   // failure reports up instead of looping.
   std::vector<std::uint32_t> detour_tried_;

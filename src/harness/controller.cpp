@@ -1,5 +1,7 @@
 #include "harness/controller.hpp"
 
+#include "util/logging.hpp"
+
 namespace telea {
 
 Controller::Controller(Network& net) : net_(&net) {
@@ -51,14 +53,25 @@ std::optional<std::uint32_t> Controller::send_command(NodeId node,
   TeleAdjusting* sink_tele = net_->sink().tele();
   TeleAdjusting* dest_tele =
       node < net_->size() ? net_->node(node).tele() : nullptr;
-  if (sink_tele == nullptr || dest_tele == nullptr) return std::nullopt;
+  if (sink_tele == nullptr || dest_tele == nullptr) {
+    TELEA_WARN("harness.ctl")
+        << "cannot command node " << node << ": no TeleAdjusting instance";
+    return std::nullopt;
+  }
   if (use_reported_codes_) {
     const auto code = reported_code(node);
-    if (!code.has_value()) return std::nullopt;
+    if (!code.has_value()) {
+      TELEA_DEBUG("harness.ctl")
+          << "no reported path code for node " << node << " yet";
+      return std::nullopt;
+    }
     return sink_tele->send_control(node, *code, command);
   }
   const auto& addressing = dest_tele->addressing();
-  if (!addressing.has_code()) return std::nullopt;
+  if (!addressing.has_code()) {
+    TELEA_DEBUG("harness.ctl") << "node " << node << " has no path code yet";
+    return std::nullopt;
+  }
   return sink_tele->send_control(node, addressing.code(), command);
 }
 
@@ -73,7 +86,12 @@ std::optional<std::uint32_t> Controller::send_command_group(
     if (tele == nullptr || !tele->addressing().has_code()) continue;
     dests.push_back(msg::GroupDest{n, tele->addressing().code()});
   }
-  if (dests.empty()) return std::nullopt;
+  if (dests.empty()) {
+    TELEA_DEBUG("harness.ctl")
+        << "group command dropped: none of the " << nodes.size()
+        << " destinations are addressable";
+    return std::nullopt;
+  }
   return sink_tele->send_control_group(dests, command);
 }
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace telea {
@@ -112,15 +113,21 @@ ControlExperimentResult run_control_experiment(
   }
 
   // --- warm-up -------------------------------------------------------------------
+  TELEA_INFO("harness.exp") << "warm-up: " << protocol_name(result.protocol)
+                            << ", " << net.size() << " nodes, "
+                            << to_seconds(config.warmup) << "s";
   net.start();
   net.run_for(config.warmup);
   if (config.on_warmed_up) config.on_warmed_up(net);
   net.reset_accounting();
+  TELEA_INFO("harness.exp") << "warm-up done: code coverage "
+                            << net.code_coverage();
 
   // Count control-class transmissions (LPL send operations, not copies)
   // from here on: distinct (src, link_seq) pairs.
   std::unordered_set<std::uint64_t> control_ops;
-  net.medium().set_transmit_hook(
+  // add, don't set: on_warmed_up may have installed the tracing hook.
+  net.medium().add_transmit_hook(
       [&control_ops](NodeId src, const Frame& frame, SimTime) {
         if (!is_control_class(frame)) return;
         control_ops.insert((static_cast<std::uint64_t>(src) << 32) |
@@ -128,6 +135,9 @@ ControlExperimentResult run_control_experiment(
       });
 
   // --- workload -------------------------------------------------------------------
+  TELEA_INFO("harness.exp") << "workload: " << to_seconds(config.duration)
+                            << "s, control every "
+                            << to_seconds(config.control_interval) << "s";
   net.start_data_collection(config.data_ipi);
 
   Pcg32 dest_rng(config.network.seed ^ 0xDE57ULL, 7);
@@ -197,11 +207,16 @@ ControlExperimentResult run_control_experiment(
     if (!injected) {
       // Could not even address the packet (no path code yet): count as a
       // sent-and-lost control packet, same as the testbed would observe.
+      TELEA_DEBUG("harness.exp")
+          << "t=" << to_seconds(net.sim().now())
+          << "s could not address control #" << seq << " to node " << dest
+          << " (no path code); counted as lost";
       pending.emplace(seq, record);
     }
     ++result.sent;
   }
 
+  TELEA_INFO("harness.exp") << "drain: " << to_seconds(config.drain) << "s";
   net.run_for(config.drain);
 
   // --- collect -------------------------------------------------------------------
@@ -221,6 +236,11 @@ ControlExperimentResult run_control_experiment(
       result.sent == 0 ? 0.0
                        : static_cast<double>(control_ops.size()) /
                              static_cast<double>(result.sent);
+  TELEA_INFO("harness.exp") << "done: " << result.delivered << "/"
+                            << result.sent << " delivered, "
+                            << result.e2e_acked << " e2e-acked, "
+                            << result.tx_per_control << " tx/control";
+  if (config.on_finished) config.on_finished(net);
   return result;
 }
 

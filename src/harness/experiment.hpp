@@ -23,6 +23,10 @@ struct ControlExperimentConfig {
   /// Invoked once after warm-up, before the measured workload starts —
   /// snapshot hooks (topology export, fault-plan application, tracing).
   std::function<void(Network&)> on_warmed_up;
+
+  /// Invoked once after the drain phase, while the network still exists —
+  /// artifact-export hooks (trace JSONL, metrics, simulator profile).
+  std::function<void(Network&)> on_finished;
 };
 
 /// Everything the paper's Figs. 7-10 and Table III report, from one run.

@@ -1,5 +1,6 @@
 #include "harness/faults.hpp"
 
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace telea {
@@ -22,16 +23,28 @@ FaultPlan FaultPlan::random_churn(std::size_t node_count, std::size_t count,
 }
 
 void FaultPlan::apply(Network& net) const {
+  TELEA_INFO("harness.faults") << "applying fault plan: " << events_.size()
+                               << " events";
   for (const Event& e : events_) {
-    if (e.node >= net.size()) continue;
+    if (e.node >= net.size()) {
+      TELEA_WARN("harness.faults")
+          << "skipping event for out-of-range node " << e.node;
+      continue;
+    }
     const Event event = e;
     net.sim().schedule_at(event.at, [&net, event] {
       if (event.action == Action::kKill) {
+        TELEA_INFO("harness.faults")
+            << "t=" << to_seconds(net.sim().now()) << "s kill node "
+            << event.node;
         net.node(event.node).kill();
       } else {
+        TELEA_INFO("harness.faults")
+            << "t=" << to_seconds(net.sim().now()) << "s revive node "
+            << event.node;
         net.node(event.node).revive();
       }
-    });
+    }, "fault.inject");
   }
 }
 

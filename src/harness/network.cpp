@@ -142,7 +142,10 @@ void NodeStack::revive() {
 
 void NodeStack::set_tracer(Tracer* tracer) {
   tracer_ = tracer;
+  mac_.set_tracer(tracer);
+  ctp_.set_tracer(tracer);
   if (tele_ != nullptr) {
+    tele_->set_tracer(tracer);
     if (tracer == nullptr) {
       tele_->addressing().on_code_changed = nullptr;
     } else {
@@ -329,6 +332,91 @@ double Network::average_current_ma() const {
 
 void Network::start_data_collection(SimTime ipi) {
   for (auto& n : nodes_) n->start_data_collection(ipi, config_.seed);
+}
+
+void Network::collect_metrics(MetricsRegistry& registry) const {
+  registry.describe("telea_tx_copies_total", "Link-layer frame copies transmitted");
+  registry.describe("telea_send_ops_total", "MAC send operations completed");
+  registry.describe("telea_duty_cycle", "Radio duty cycle since last accounting reset");
+  registry.describe("telea_beacons_total", "CTP routing beacons sent");
+  registry.describe("telea_data_total", "CTP data plane activity by kind");
+  registry.describe("telea_parent_changes_total", "CTP parent switches");
+  registry.describe("telea_control_total", "TeleAdjusting forwarding-plane decisions by kind");
+  registry.describe("telea_phy_transmissions_total", "Frame copies put on the medium");
+  registry.describe("telea_code_coverage", "Fraction of non-sink nodes holding a confirmed path code");
+  registry.describe("telea_node_duty_cycle", "Distribution of per-node duty cycles");
+  registry.describe("telea_trace_records", "Trace ring occupancy");
+  registry.describe("telea_trace_dropped_total", "Trace records evicted from the ring");
+  registry.describe("telea_sim_events_total", "Simulator events dispatched (profiling runs)");
+  registry.describe("telea_sim_max_queue_depth", "Peak event-queue depth (profiling runs)");
+
+  Histogram& duty_hist = registry.histogram(
+      "telea_node_duty_cycle",
+      {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0});
+  duty_hist.reset();  // collector-style: re-populate on every scrape
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeStack& n = *nodes_[i];
+    const std::string node = std::to_string(i);
+    const MetricLabels lpl{{"node", node}, {"sub", "lpl"}};
+    registry.counter("telea_tx_copies_total", lpl)
+        .set_total(n.mac().copies_sent());
+    registry.counter("telea_send_ops_total", lpl).set_total(n.mac().send_ops());
+    registry.gauge("telea_duty_cycle", lpl).set(n.mac().duty_cycle());
+    duty_hist.observe(n.mac().duty_cycle());
+
+    const MetricLabels ctp{{"node", node}, {"sub", "ctp"}};
+    const CtpNode::Stats& cs = n.ctp().stats();
+    registry.counter("telea_beacons_total", ctp).set_total(cs.beacons_sent);
+    auto data_kind = [&](const char* kind, std::uint64_t v) {
+      MetricLabels labels = ctp;
+      labels.emplace_back("kind", kind);
+      registry.counter("telea_data_total", labels).set_total(v);
+    };
+    data_kind("originated", cs.data_originated);
+    data_kind("forwarded", cs.data_forwarded);
+    data_kind("delivered", cs.data_delivered);
+    data_kind("dropped", cs.data_dropped);
+    registry.counter("telea_parent_changes_total", ctp)
+        .set_total(cs.parent_changes);
+
+    if (TeleAdjusting* tele = n.tele()) {
+      const Forwarding::Stats& fs = tele->forwarding().stats();
+      auto control_kind = [&](const char* kind, std::uint64_t v) {
+        registry
+            .counter("telea_control_total",
+                     {{"node", node}, {"sub", "forwarding"}, {"kind", kind}})
+            .set_total(v);
+      };
+      control_kind("claims", fs.claims);
+      control_kind("forwards", fs.forwards);
+      control_kind("deliveries", fs.deliveries);
+      control_kind("duplicates", fs.duplicates);
+      control_kind("yields", fs.yields);
+      control_kind("suppressions", fs.suppressions);
+      control_kind("backtracks", fs.backtracks);
+      control_kind("feedback_claims", fs.feedback_claims);
+      control_kind("origin_retries", fs.origin_retries);
+      control_kind("origin_failures", fs.origin_failures);
+    }
+  }
+
+  registry.counter("telea_phy_transmissions_total", {{"sub", "phy"}})
+      .set_total(medium_->total_transmissions());
+  registry.gauge("telea_code_coverage", {{"sub", "teleadjusting"}})
+      .set(code_coverage());
+  if (tracer_ != nullptr) {
+    registry.gauge("telea_trace_records", {{"sub", "trace"}})
+        .set(static_cast<double>(tracer_->size()));
+    registry.counter("telea_trace_dropped_total", {{"sub", "trace"}})
+        .set_total(tracer_->dropped());
+  }
+  if (sim_.profiling()) {
+    const SimProfile& prof = sim_.profile();
+    registry.counter("telea_sim_events_total", {{"sub", "sim"}})
+        .set_total(prof.events_dispatched);
+    registry.gauge("telea_sim_max_queue_depth", {{"sub", "sim"}})
+        .set(static_cast<double>(prof.max_queue_depth));
+  }
 }
 
 Tracer& Network::enable_tracing(std::size_t capacity) {

@@ -17,6 +17,7 @@
 #include "radio/noise.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stats/metrics.hpp"
 #include "stats/trace.hpp"
 #include "topo/topology.hpp"
 
@@ -174,6 +175,13 @@ class Network {
   /// records. Idempotent; the tracer lives as long as the network.
   Tracer& enable_tracing(std::size_t capacity = 1 << 16);
   [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Mirrors every component's counters into `registry`, scoped per node
+  /// (label "node") and per subsystem (label "sub": phy / lpl / ctp /
+  /// forwarding / teleadjusting / sim). Collector-style: call it again to
+  /// refresh the same registry; values are absolute totals, so
+  /// MetricsRegistry::diff gives per-window deltas.
+  void collect_metrics(MetricsRegistry& registry) const;
 
  private:
   NetworkConfig config_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/logging.hpp"
+
 namespace telea {
 
 std::string render_topology_dot(Network& net) {
@@ -37,10 +39,19 @@ std::string render_topology_dot(Network& net) {
 
 bool write_topology_dot(Network& net, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    TELEA_WARN("harness.topo") << "cannot open " << path << " for writing";
+    return false;
+  }
   const std::string dot = render_topology_dot(net);
   const bool ok = std::fwrite(dot.data(), 1, dot.size(), f) == dot.size();
-  return std::fclose(f) == 0 && ok;
+  if (std::fclose(f) != 0 || !ok) {
+    TELEA_WARN("harness.topo") << "short write to " << path;
+    return false;
+  }
+  TELEA_DEBUG("harness.topo") << "wrote " << path << " (" << dot.size()
+                              << " bytes)";
+  return true;
 }
 
 }  // namespace telea

@@ -34,6 +34,11 @@ LplMac::LplMac(Simulator& sim, RadioMedium& medium, NodeId id,
   linger_timer_.set_callback([this] { end_rx_linger(); });
   csma_timer_.set_callback([this] { csma_attempt(); });
   gap_timer_.set_callback([this] { transmit_copy(); });
+  wake_timer_.set_tag("lpl.wake");
+  window_timer_.set_tag("lpl.window");
+  linger_timer_.set_tag("lpl.linger");
+  csma_timer_.set_tag("lpl.csma");
+  gap_timer_.set_tag("lpl.gap");
   accounting_start_ = sim.now();
 }
 
@@ -235,6 +240,16 @@ void LplMac::finish_send(bool success, NodeId acker) {
   queue_.pop_front();
   sending_ = false;
   release(kTxOp);
+  // A control packet that swept every wake phase unacknowledged: the
+  // link-layer evidence a forwarding retry or backtrack is built on.
+  // (Cancelled sends are suppressions — the forwarding plane records those.)
+  if (!success && !done.cancelled) {
+    if (const auto* cp = std::get_if<msg::ControlPacket>(&done.frame.payload)) {
+      TELEA_TRACE_EVENT(tracer_, sim_->now(), id_, TraceEvent::kSuppress,
+                        cp->seqno, cp->expected_relay,
+                        TraceReason::kRetryExhausted);
+    }
+  }
   if (done.done) {
     done.done(SendResult{success, acker, copies_this_send_});
   }

@@ -9,6 +9,7 @@
 #include "radio/medium.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stats/trace.hpp"
 #include "util/rng.hpp"
 
 namespace telea {
@@ -107,6 +108,11 @@ class LplMac final : public MediumListener {
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   [[nodiscard]] const LplConfig& config() const noexcept { return config_; }
+
+  /// Attaches a decision tracer: the MAC reports control packets whose
+  /// full-sweep transmission never drew an acknowledgement (the link-layer
+  /// evidence behind a forwarding-plane retry/backtrack).
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] bool radio_on() const noexcept { return awake_reasons_ != 0; }
 
   // --- energy / traffic accounting -------------------------------------
@@ -160,6 +166,7 @@ class LplMac final : public MediumListener {
   NodeId id_;
   LplConfig config_;
   FrameHandler* handler_ = nullptr;
+  Tracer* tracer_ = nullptr;
   Pcg32 rng_;
 
   Timer wake_timer_;

@@ -38,6 +38,7 @@ void CtpNode::send_beacon(bool pull) {
   beacon.seqno = ++beacon_seqno_;
   beacon.pull = pull || (!is_root_ && parent_ == kInvalidNode);
   if (piggyback_ != nullptr) piggyback_->fill_beacon(beacon);
+  ++stats_.beacons_sent;
 
   Frame frame;
   frame.dst = kBroadcastNode;
@@ -122,6 +123,7 @@ void CtpNode::recompute_route() {
   hops_ = best_hops;
 
   if (old_parent != parent_) {
+    ++stats_.parent_changes;
     if (listener_ != nullptr) listener_->on_parent_changed(old_parent, parent_);
     beacon_timer_.reset();  // topology change: advertise promptly
   }
@@ -136,10 +138,20 @@ bool CtpNode::send_to_sink(msg::CtpData data) {
   data.origin_seqno = ++next_origin_seqno_;
   data.thl = 0;
   if (is_root_) {
+    ++stats_.data_originated;
+    ++stats_.data_delivered;
     if (deliver_) deliver_(data);
     return true;
   }
-  if (forward_queue_.size() >= config_.forward_queue_limit) return false;
+  if (forward_queue_.size() >= config_.forward_queue_limit) {
+    ++stats_.data_dropped;
+    return false;
+  }
+  ++stats_.data_originated;
+  if (data.is_control_ack) {
+    TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kAckPath,
+                      data.control_seqno, parent_);
+  }
   forward_queue_.push_back(data);
   forward_next();
   return true;
@@ -167,6 +179,7 @@ AckDecision CtpNode::handle_data(NodeId from, const msg::CtpData& data,
   while (seen_.size() > config_.dedup_cache) seen_.pop_front();
 
   if (is_root_) {
+    ++stats_.data_delivered;
     if (deliver_) deliver_(data);
     return AckDecision::kAcceptAndAck;
   }
@@ -178,6 +191,11 @@ AckDecision CtpNode::handle_data(NodeId from, const msg::CtpData& data,
   }
   msg::CtpData fwd = data;
   fwd.thl = static_cast<std::uint8_t>(data.thl + 1);
+  ++stats_.data_forwarded;
+  if (fwd.is_control_ack) {
+    TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kAckPath,
+                      fwd.control_seqno, parent_);
+  }
   forward_queue_.push_back(fwd);
   forward_next();
   return AckDecision::kAcceptAndAck;
@@ -189,7 +207,7 @@ void CtpNode::forward_next() {
     // No route yet; retry when one appears (cheap poll via timer-less
     // rescheduling on the next beacon-driven recompute is implicit: the
     // queue is re-kicked after every send completion, so just wait).
-    sim_->schedule_in(kSecond, [this] { forward_next(); });
+    sim_->schedule_in(kSecond, [this] { forward_next(); }, "ctp.requeue");
     return;
   }
   forwarding_ = true;
@@ -205,7 +223,7 @@ void CtpNode::forward_next() {
       std::move(frame), [this](const SendResult& r) { on_forward_done(r); });
   if (!queued) {
     forwarding_ = false;
-    sim_->schedule_in(kSecond, [this] { forward_next(); });
+    sim_->schedule_in(kSecond, [this] { forward_next(); }, "ctp.requeue");
   }
 }
 
@@ -228,6 +246,7 @@ void CtpNode::on_forward_done(const SendResult& result) {
   if (front_attempts_ >= config_.data_retx) {
     forward_queue_.pop_front();  // give up on this packet
     front_attempts_ = 0;
+    ++stats_.data_dropped;
   }
   if (consecutive_failures_ >= config_.reroute_after &&
       forwarding_to_ == parent_) {

@@ -11,6 +11,7 @@
 #include "net/trickle.hpp"
 #include "radio/packet.hpp"
 #include "sim/simulator.hpp"
+#include "stats/trace.hpp"
 
 namespace telea {
 
@@ -120,6 +121,22 @@ class CtpNode {
   /// Forces an immediate beacon (used by tests and by the pull mechanism).
   void send_beacon(bool pull);
 
+  /// Observable activity of this node's collection plane (serial-report
+  /// counters, mirrored into the metrics registry by the harness).
+  struct Stats {
+    std::uint64_t beacons_sent = 0;
+    std::uint64_t data_originated = 0;  // send_to_sink accepted
+    std::uint64_t data_forwarded = 0;   // relayed for others
+    std::uint64_t data_delivered = 0;   // consumed at the root
+    std::uint64_t data_dropped = 0;     // retx budget exhausted / queue full
+    std::uint64_t parent_changes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Attaches a decision tracer: CTP reports each hop a control-plane e2e
+  /// acknowledgement takes toward the sink (TraceEvent::kAckPath).
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Out-of-band report that unicasts to the current parent keep failing
   /// (e.g. TeleAdjusting's position requests on an asymmetric link): drops
   /// the parent and forces reselection, exactly as repeated data-plane
@@ -144,6 +161,8 @@ class CtpNode {
   CtpListener* listener_ = nullptr;
   BeaconPiggyback* piggyback_ = nullptr;
   DeliverFn deliver_;
+  Tracer* tracer_ = nullptr;
+  Stats stats_;
 
   TrickleTimer beacon_timer_;
   std::uint8_t beacon_seqno_ = 0;

@@ -5,9 +5,9 @@
 
 namespace telea {
 
-EventHandle EventQueue::schedule(SimTime when, Callback cb) {
+EventHandle EventQueue::schedule(SimTime when, Callback cb, const char* tag) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, std::move(cb)});
+  heap_.push(Entry{when, seq, std::move(cb), tag});
   live_.insert(seq);
   return EventHandle{seq};
 }
@@ -37,7 +37,7 @@ EventQueue::Fired EventQueue::pop() {
   assert(!heap_.empty());
   // priority_queue::top() is const, so the callback is copied out; a
   // std::function copy is cheap relative to the event work it wraps.
-  Fired fired{heap_.top().time, heap_.top().callback};
+  Fired fired{heap_.top().time, heap_.top().callback, heap_.top().tag};
   live_.erase(heap_.top().seq);
   heap_.pop();
   return fired;

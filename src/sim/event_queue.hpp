@@ -36,8 +36,10 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedules `cb` at absolute time `when`. `when` may equal the current
-  /// head time; ordering among equal-time events is FIFO.
-  EventHandle schedule(SimTime when, Callback cb);
+  /// head time; ordering among equal-time events is FIFO. `tag` optionally
+  /// names the event kind for the simulator's self-profiler; it must point
+  /// to a string literal (or otherwise outlive the event).
+  EventHandle schedule(SimTime when, Callback cb, const char* tag = nullptr);
 
   /// Cancels a previously scheduled event. Safe to call with an invalid or
   /// already-fired handle (no-op). Invalidates `handle`.
@@ -53,6 +55,7 @@ class EventQueue {
   struct Fired {
     SimTime time;
     Callback callback;
+    const char* tag = nullptr;  // event-kind tag, nullptr when untagged
   };
   Fired pop();
 
@@ -63,6 +66,7 @@ class EventQueue {
     SimTime time;
     std::uint64_t seq;  // scheduling order, also the handle id
     Callback callback;
+    const char* tag = nullptr;
 
     // Min-heap: std::priority_queue is a max-heap, so invert.
     friend bool operator<(const Entry& a, const Entry& b) noexcept {

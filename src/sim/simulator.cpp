@@ -1,15 +1,50 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <limits>
+#include <vector>
 
 namespace telea {
 
-bool Simulator::step(SimTime until) {
+std::string SimProfile::render() const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "events dispatched: %llu, max queue depth: %zu, wall: %.3fs\n",
+                static_cast<unsigned long long>(events_dispatched),
+                max_queue_depth, wall_seconds);
+  out += buf;
+  std::vector<std::pair<std::string, KindStats>> rows(by_kind.begin(),
+                                                      by_kind.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_seconds > b.second.wall_seconds;
+  });
+  for (const auto& [tag, stats] : rows) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %10llu events  %10.6fs wall\n",
+                  tag.c_str(), static_cast<unsigned long long>(stats.count),
+                  stats.wall_seconds);
+    out += buf;
+  }
+  return out;
+}
+
+bool Simulator::step_profiled(SimTime until) {
   if (queue_.empty()) return false;
   if (queue_.next_time() > until) return false;
+  profile_.max_queue_depth = std::max(profile_.max_queue_depth, queue_.size());
   auto fired = queue_.pop();
   now_ = fired.time;
+  const auto t0 = std::chrono::steady_clock::now();
   fired.callback();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+  ++profile_.events_dispatched;
+  profile_.wall_seconds += elapsed;
+  auto& kind = profile_.by_kind[fired.tag != nullptr ? fired.tag : "(untagged)"];
+  ++kind.count;
+  kind.wall_seconds += elapsed;
   return true;
 }
 
@@ -31,6 +66,7 @@ std::uint64_t Simulator::run() {
 void Simulator::reset() {
   queue_.clear();
   now_ = 0;
+  profile_ = SimProfile{};
 }
 
 }  // namespace telea

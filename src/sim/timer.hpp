@@ -21,6 +21,10 @@ class Timer {
 
   void set_callback(Callback cb) { callback_ = std::move(cb); }
 
+  /// Names this timer's firings for the simulator self-profiler (string
+  /// literal lifetime required). Optional; untagged timers profile together.
+  void set_tag(const char* tag) noexcept { tag_ = tag; }
+
   /// Fires once after `delay`. Restarting an armed timer re-arms it.
   void start_one_shot(SimTime delay) {
     stop();
@@ -48,7 +52,7 @@ class Timer {
 
  private:
   void arm(SimTime delay) {
-    handle_ = sim_->schedule_in(delay, [this] { fire(); });
+    handle_ = sim_->schedule_in(delay, [this] { fire(); }, tag_);
   }
 
   void fire() {
@@ -61,6 +65,7 @@ class Timer {
   Callback callback_;
   EventHandle handle_;
   SimTime period_ = 0;
+  const char* tag_ = nullptr;
 };
 
 }  // namespace telea

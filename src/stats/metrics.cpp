@@ -1,0 +1,282 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace telea {
+
+namespace {
+
+/// %g-style shortest faithful rendering; Prometheus and JSON share it.
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double back = 0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v) {
+    return shorter;
+  }
+  return buf;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::reset() noexcept {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) {
+    total += counts_[b];
+  }
+  return total;
+}
+
+std::string MetricsRegistry::instance_key(const std::string& name,
+                                          const MetricLabels& labels) {
+  std::string key = name;
+  key.push_back('\x1f');
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key.push_back('=');
+    key += v;
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::upsert(const std::string& name,
+                                                 const MetricLabels& labels,
+                                                 Kind kind) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string key = instance_key(name, sorted);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Metric m;
+    m.name = name;
+    m.labels = std::move(sorted);
+    m.kind = kind;
+    it = metrics_.emplace(key, std::move(m)).first;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  Metric& m = upsert(name, labels, Kind::kCounter);
+  if (m.counter == nullptr) m.counter = std::make_unique<Counter>();
+  return *m.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  Metric& m = upsert(name, labels, Kind::kGauge);
+  if (m.gauge == nullptr) m.gauge = std::make_unique<Gauge>();
+  return *m.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds,
+                                      const MetricLabels& labels) {
+  Metric& m = upsert(name, labels, Kind::kHistogram);
+  if (m.histogram == nullptr) {
+    m.histogram = std::make_unique<Histogram>(upper_bounds);
+  }
+  return *m.histogram;
+}
+
+void MetricsRegistry::describe(const std::string& name, std::string help) {
+  help_[name] = std::move(help);
+}
+
+std::string MetricsRegistry::sample_name(const Metric& m,
+                                         const std::string& suffix,
+                                         const std::string& extra) {
+  std::string out = m.name + suffix;
+  if (m.labels.empty() && extra.empty()) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : m.labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+void MetricsRegistry::flatten(
+    const Metric& m,
+    const std::function<void(std::string, double, Kind)>& emit) const {
+  switch (m.kind) {
+    case Kind::kCounter:
+      emit(sample_name(m, ""), static_cast<double>(m.counter->value()),
+           Kind::kCounter);
+      break;
+    case Kind::kGauge:
+      emit(sample_name(m, ""), m.gauge->value(), Kind::kGauge);
+      break;
+    case Kind::kHistogram: {
+      const Histogram& h = *m.histogram;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        emit(sample_name(m, "_bucket",
+                         "le=\"" + fmt_double(h.bounds()[i]) + "\""),
+             static_cast<double>(h.cumulative(i)), Kind::kHistogram);
+      }
+      emit(sample_name(m, "_bucket", "le=\"+Inf\""),
+           static_cast<double>(h.count()), Kind::kHistogram);
+      emit(sample_name(m, "_sum"), h.sum(), Kind::kHistogram);
+      emit(sample_name(m, "_count"), static_cast<double>(h.count()),
+           Kind::kHistogram);
+      break;
+    }
+  }
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::string out;
+  std::string last_name;
+  for (const auto& [key, m] : metrics_) {
+    (void)key;
+    if (m.name != last_name) {
+      last_name = m.name;
+      const auto help = help_.find(m.name);
+      if (help != help_.end()) {
+        out += "# HELP " + m.name + " " + help->second + "\n";
+      }
+      out += "# TYPE " + m.name + " ";
+      switch (m.kind) {
+        case Kind::kCounter: out += "counter"; break;
+        case Kind::kGauge: out += "gauge"; break;
+        case Kind::kHistogram: out += "histogram"; break;
+      }
+      out += "\n";
+    }
+    flatten(m, [&out](std::string name, double value, Kind) {
+      out += name;
+      out.push_back(' ');
+      out += fmt_double(value);
+      out.push_back('\n');
+    });
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first_metric = true;
+  for (const auto& [key, m] : metrics_) {
+    (void)key;
+    if (!first_metric) out.push_back(',');
+    first_metric = false;
+    out += "{\"name\":\"" + JsonValue::escape(m.name) + "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first_label) out.push_back(',');
+      first_label = false;
+      out += "\"" + JsonValue::escape(k) + "\":\"" + JsonValue::escape(v) + "\"";
+    }
+    out += "},\"type\":\"";
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "counter\",\"value\":" +
+               fmt_double(static_cast<double>(m.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += "gauge\",\"value\":" + fmt_double(m.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *m.histogram;
+        out += "histogram\",\"buckets\":[";
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          if (i > 0) out.push_back(',');
+          out += "{\"le\":" + fmt_double(h.bounds()[i]) + ",\"count\":" +
+                 fmt_double(static_cast<double>(h.bucket_counts()[i])) + "}";
+        }
+        out += "],\"overflow\":" +
+               fmt_double(static_cast<double>(h.bucket_counts().back())) +
+               ",\"sum\":" + fmt_double(h.sum()) +
+               ",\"count\":" + fmt_double(static_cast<double>(h.count()));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  return write_file(path, render_prometheus());
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_file(path, render_json());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [key, m] : metrics_) {
+    (void)key;
+    flatten(m, [&snap](std::string name, double value, Kind) {
+      snap.emplace(std::move(name), value);
+    });
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::diff(const MetricsSnapshot& older) const {
+  MetricsSnapshot out;
+  for (const auto& [key, m] : metrics_) {
+    (void)key;
+    flatten(m, [&out, &older](std::string name, double value, Kind kind) {
+      if (kind != Kind::kGauge) {
+        const auto it = older.find(name);
+        if (it != older.end()) value -= it->second;
+      }
+      out.emplace(std::move(name), value);
+    });
+  }
+  return out;
+}
+
+}  // namespace telea

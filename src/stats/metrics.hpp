@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace telea {
+
+/// Label set attached to a metric instance (e.g. {{"node","3"},{"sub","lpl"}}).
+/// Kept sorted by key so the identity of a (name, labels) pair is canonical.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone counter. `set_total` exists for collector-style use where a
+/// component keeps its own cumulative tally and the registry mirrors it.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  void set_total(std::uint64_t total) noexcept { value_ = total; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double delta) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: cumulative bucket counts,
+/// an implicit +Inf bucket, plus sum and count).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+  /// Zeroes all counts (for collector-style re-population each scrape).
+  void reset() noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) observation counts; size = bounds+1, the
+  /// last slot is the overflow (+Inf) bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+  /// Cumulative count of observations <= bounds()[i].
+  [[nodiscard]] std::uint64_t cumulative(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> bounds_;          // strictly increasing
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 (last = +Inf)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Flattened sample map: one entry per exported Prometheus sample
+/// ("name{labels}" or "name_bucket{...,le=\"x\"}" / "_sum" / "_count").
+/// This is the snapshot/diff currency — plain data, cheap to copy and compare.
+using MetricsSnapshot = std::map<std::string, double>;
+
+/// A named registry of counters, gauges and histograms. Metric instances are
+/// identified by (name, labels); lookups return stable references (instances
+/// live as long as the registry), so hot paths can resolve once and hold the
+/// pointer. Single-threaded, like everything else in the simulator.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const MetricLabels& labels = {});
+  Gauge& gauge(const std::string& name, const MetricLabels& labels = {});
+  /// `upper_bounds` is only consulted on first creation of the instance.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds,
+                       const MetricLabels& labels = {});
+
+  /// Optional one-line help text rendered as "# HELP" in Prometheus output.
+  void describe(const std::string& name, std::string help);
+
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  void clear() { metrics_.clear(); }
+
+  /// Prometheus text exposition format (deterministic ordering).
+  [[nodiscard]] std::string render_prometheus() const;
+  /// JSON export: {"metrics":[{name,labels,type,...}]}. Parseable by
+  /// JsonValue::parse — the unit tests round-trip it.
+  [[nodiscard]] std::string render_json() const;
+  bool write_prometheus(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+  /// Current values flattened to Prometheus sample granularity.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Delta since `older`: counter and histogram samples are subtracted
+  /// (absent-in-older counts as 0), gauge samples pass through at their
+  /// current value.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& older) const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& upsert(const std::string& name, const MetricLabels& labels,
+                 Kind kind);
+  static std::string instance_key(const std::string& name,
+                                  const MetricLabels& labels);
+  /// "name{a="x",b="y"}" with `extra` appended inside the braces.
+  static std::string sample_name(const Metric& m, const std::string& suffix,
+                                 const std::string& extra = {});
+  void flatten(const Metric& m,
+               const std::function<void(std::string, double, Kind)>& emit) const;
+
+  std::map<std::string, Metric> metrics_;  // key -> instance (sorted)
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace telea

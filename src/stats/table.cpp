@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdarg>
+#include <cstdlib>
+
+#include "util/json.hpp"
 
 namespace telea {
 
@@ -49,6 +52,65 @@ bool TextTable::write_csv(const std::string& path) const {
   if (f == nullptr) return false;
   const std::string csv = render_csv();
   const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+namespace {
+
+/// Renders a cell as a JSON value: numeric cells become numbers ("12.3%"
+/// becomes 0.123), anything else a quoted string.
+std::string json_cell(const std::string& s) {
+  if (!s.empty()) {
+    const char* begin = s.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end != begin) {
+      if (*end == '\0') {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        return buf;
+      }
+      if (end[0] == '%' && end[1] == '\0') {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", v / 100.0);
+        return buf;
+      }
+    }
+  }
+  return "\"" + JsonValue::escape(s) + "\"";
+}
+
+}  // namespace
+
+std::string TextTable::render_json(const std::string& name) const {
+  std::string out = "{\"name\":\"" + JsonValue::escape(name) + "\",";
+  out += "\"headers\":[";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + JsonValue::escape(headers_[i]) + "\"";
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      if (i > 0) out += ',';
+      const std::string& cell =
+          i < rows_[r].size() ? rows_[r][i] : std::string{};
+      out += "\"" + JsonValue::escape(headers_[i]) + "\":" + json_cell(cell);
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TextTable::write_json(const std::string& name,
+                           const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = render_json(name);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }
 

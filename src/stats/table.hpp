@@ -29,6 +29,15 @@ class TextTable {
   /// Writes the CSV rendering to `path`. Returns false on I/O failure.
   bool write_csv(const std::string& path) const;
 
+  /// Machine-readable JSON: {"name":...,"headers":[...],"rows":[{header:
+  /// cell}...]}. Cells that parse fully as numbers (including "12.3%", which
+  /// becomes the fraction 0.123) are emitted as JSON numbers; everything else
+  /// stays a string. Parseable by JsonValue::parse.
+  [[nodiscard]] std::string render_json(const std::string& name) const;
+
+  /// Writes the JSON rendering to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& name, const std::string& path) const;
+
   static std::string fmt(double v, int decimals = 2);
   static std::string fmt_pct(double fraction, int decimals = 1);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/json.hpp"
+
 namespace telea {
 
 const char* trace_event_name(TraceEvent e) noexcept {
@@ -13,15 +15,52 @@ const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kCodeChange: return "code_change";
     case TraceEvent::kKill: return "kill";
     case TraceEvent::kRevive: return "revive";
+    case TraceEvent::kForwardDecision: return "forward_decision";
+    case TraceEvent::kSuppress: return "suppress";
+    case TraceEvent::kBacktrack: return "backtrack";
+    case TraceEvent::kRedirect: return "redirect";
+    case TraceEvent::kAckPath: return "ack_path";
   }
   return "?";
+}
+
+const char* trace_reason_name(TraceReason r) noexcept {
+  switch (r) {
+    case TraceReason::kNone: return "none";
+    case TraceReason::kExpectedRelay: return "expected_relay";
+    case TraceReason::kLongerPrefix: return "longer_prefix";
+    case TraceReason::kNeighborPrefix: return "neighbor_prefix";
+    case TraceReason::kRetryExhausted: return "retry_exhausted";
+    case TraceReason::kNeighborUnreachable: return "neighbor_unreachable";
+  }
+  return "?";
+}
+
+std::optional<TraceEvent> trace_event_from_name(std::string_view name) noexcept {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(TraceEvent::kAckPath);
+       ++i) {
+    const auto e = static_cast<TraceEvent>(i);
+    if (name == trace_event_name(e)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceReason> trace_reason_from_name(
+    std::string_view name) noexcept {
+  for (std::uint8_t i = 0;
+       i <= static_cast<std::uint8_t>(TraceReason::kNeighborUnreachable); ++i) {
+    const auto r = static_cast<TraceReason>(i);
+    if (name == trace_reason_name(r)) return r;
+  }
+  return std::nullopt;
 }
 
 Tracer::Tracer(std::size_t capacity) : ring_(std::max<std::size_t>(capacity, 1)) {}
 
 void Tracer::record(SimTime time, NodeId node, TraceEvent event,
-                    std::uint64_t a, std::uint64_t b) {
-  ring_[head_] = TraceRecord{time, node, event, a, b};
+                    std::uint64_t a, std::uint64_t b, TraceReason reason) {
+  if (!enabled_) return;
+  ring_[head_] = TraceRecord{time, node, event, reason, a, b};
   head_ = (head_ + 1) % ring_.size();
   if (size_ < ring_.size()) {
     ++size_;
@@ -66,14 +105,19 @@ std::vector<NodeId> Tracer::control_path(std::uint32_t seqno) const {
   return path;
 }
 
+std::string Tracer::explain(std::uint32_t seqno) const {
+  return explain_control(snapshot(), seqno);
+}
+
 std::string Tracer::render_csv() const {
-  std::string out = "time_s,node,event,a,b\n";
-  char buf[128];
+  std::string out = "time_s,node,event,a,b,reason\n";
+  char buf[160];
   for (const auto& r : snapshot()) {
-    std::snprintf(buf, sizeof(buf), "%.6f,%u,%s,%llu,%llu\n",
+    std::snprintf(buf, sizeof(buf), "%.6f,%u,%s,%llu,%llu,%s\n",
                   to_seconds(r.time), r.node, trace_event_name(r.event),
                   static_cast<unsigned long long>(r.a),
-                  static_cast<unsigned long long>(r.b));
+                  static_cast<unsigned long long>(r.b),
+                  trace_reason_name(r.reason));
     out += buf;
   }
   return out;
@@ -87,10 +131,173 @@ bool Tracer::write_csv(const std::string& path) const {
   return std::fclose(f) == 0 && ok;
 }
 
+std::string Tracer::render_jsonl() const {
+  std::string out;
+  char buf[224];
+  for (const auto& r : snapshot()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"t\":%.6f,\"node\":%u,\"event\":\"%s\",\"a\":%llu,"
+                  "\"b\":%llu,\"reason\":\"%s\"}\n",
+                  to_seconds(r.time), r.node, trace_event_name(r.event),
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b),
+                  trace_reason_name(r.reason));
+    out += buf;
+  }
+  return out;
+}
+
+bool Tracer::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string jsonl = render_jsonl();
+  const bool ok = std::fwrite(jsonl.data(), 1, jsonl.size(), f) == jsonl.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 void Tracer::clear() {
   head_ = 0;
   size_ = 0;
   dropped_ = 0;
+}
+
+std::vector<TraceRecord> parse_trace_jsonl(std::string_view text,
+                                           std::size_t* skipped) {
+  std::vector<TraceRecord> out;
+  std::size_t bad = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const auto doc = JsonValue::parse(line);
+    if (!doc.has_value() || doc->type() != JsonValue::Type::kObject) {
+      ++bad;
+      continue;
+    }
+    const auto event = trace_event_from_name(doc->string_or("event", ""));
+    if (!event.has_value()) {
+      ++bad;
+      continue;
+    }
+    TraceRecord r;
+    // from_seconds truncates; round so "%.6f"-printed microsecond stamps
+    // survive the text round trip exactly.
+    r.time = static_cast<SimTime>(
+        doc->number_or("t", 0.0) * static_cast<double>(kSecond) + 0.5);
+    r.node = static_cast<NodeId>(doc->number_or("node", kInvalidNode));
+    r.event = *event;
+    r.reason = trace_reason_from_name(doc->string_or("reason", "none"))
+                   .value_or(TraceReason::kNone);
+    r.a = static_cast<std::uint64_t>(doc->number_or("a", 0.0));
+    r.b = static_cast<std::uint64_t>(doc->number_or("b", 0.0));
+    out.push_back(r);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return out;
+}
+
+std::optional<std::vector<TraceRecord>> load_trace_jsonl(
+    const std::string& path, std::size_t* skipped) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return parse_trace_jsonl(text, skipped);
+}
+
+std::string explain_control(const std::vector<TraceRecord>& records,
+                            std::uint32_t seqno) {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "control seqno %u\n", seqno);
+  out += buf;
+
+  // LPL broadcasts the same control frame once per wake-up slot, so a single
+  // send operation records dozens of identical transmissions; collapse each
+  // run of same-(node, event, peer, reason) records into one line with a
+  // repeat count to keep the trajectory readable.
+  std::vector<TraceRecord> relevant;
+  for (const auto& r : records) {
+    if (r.a != seqno) continue;
+    switch (r.event) {
+      case TraceEvent::kControlTx:
+      case TraceEvent::kForwardDecision:
+      case TraceEvent::kSuppress:
+      case TraceEvent::kBacktrack:
+      case TraceEvent::kRedirect:
+      case TraceEvent::kAckPath:
+        relevant.push_back(r);
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < relevant.size();) {
+    const TraceRecord& r = relevant[i];
+    std::size_t run = 1;
+    while (i + run < relevant.size()) {
+      const TraceRecord& n = relevant[i + run];
+      if (n.node != r.node || n.event != r.event || n.b != r.b ||
+          n.reason != r.reason) {
+        break;
+      }
+      ++run;
+    }
+    const char* verb = nullptr;
+    switch (r.event) {
+      case TraceEvent::kControlTx: verb = "transmit, expecting relay"; break;
+      case TraceEvent::kForwardDecision: verb = "claim forwarding, advertise"; break;
+      case TraceEvent::kSuppress: verb = "suppress, yielded to"; break;
+      case TraceEvent::kBacktrack: verb = "backtrack, hand task to"; break;
+      case TraceEvent::kRedirect: verb = "redirect, detour via"; break;
+      case TraceEvent::kAckPath: verb = "ack hop, next"; break;
+      default: verb = "?"; break;
+    }
+    std::snprintf(buf, sizeof(buf), "  %10.6fs  node %-4u %s %llu",
+                  to_seconds(r.time), r.node, verb,
+                  static_cast<unsigned long long>(r.b));
+    out += buf;
+    if (run > 1) {
+      std::snprintf(buf, sizeof(buf), "  (x%zu)", run);
+      out += buf;
+    }
+    if (r.reason != TraceReason::kNone) {
+      out += "  [";
+      out += trace_reason_name(r.reason);
+      out += "]";
+    }
+    out += "\n";
+    i += run;
+  }
+  if (relevant.empty()) {
+    out += "  (no records for this seqno)\n";
+    return out;
+  }
+
+  // Relay path summary: kControlTx transmissions with adjacent repeats
+  // collapsed, mirroring Tracer::control_path.
+  std::vector<NodeId> path;
+  for (const auto& r : records) {
+    if (r.event != TraceEvent::kControlTx || r.a != seqno) continue;
+    if (path.empty() || path.back() != r.node) path.push_back(r.node);
+  }
+  if (!path.empty()) {
+    out += "  relay path:";
+    for (const NodeId n : path) {
+      std::snprintf(buf, sizeof(buf), " %u", n);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace telea

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -13,26 +15,56 @@ namespace telea {
 /// simulator-side equivalent of the paper's testbed instrumentation
 /// (Sec. IV-B1: "each node records ... and periodically sends these
 /// counters to the controller through serial port").
+///
+/// For the control-plane decision events (kForwardDecision and below) the
+/// operand convention is uniform: `a` is always the control packet seqno so
+/// one filter reconstructs a packet's full trajectory; `b` is the peer node
+/// the decision concerns (expected relay, suppressing transmitter, backtrack
+/// target, detour relay, or ack next-hop).
 enum class TraceEvent : std::uint8_t {
-  kTransmit,      // a = frame kind index, b = link destination
-  kControlTx,     // a = control seqno, b = expected relay
-  kParentChange,  // a = old parent, b = new parent
-  kCodeChange,    // a = new code length
+  kTransmit,         // a = frame kind index, b = link destination
+  kControlTx,        // a = control seqno, b = expected relay
+  kParentChange,     // a = old parent, b = new parent
+  kCodeChange,       // a = new code length
   kKill,
   kRevive,
+  kForwardDecision,  // node claims the forwarding task; reason = which claim
+                     // condition fired; b = expected relay it advertises
+  kSuppress,         // node abandons a pending/active relay; b = transmitter
+                     // that made it redundant (0 when giving up on its own)
+  kBacktrack,        // node hands the task back upstream; b = upstream node
+  kRedirect,         // Re-Tele detour around a dead region; b = detour relay
+  kAckPath,          // delivery ack hop toward the controller; b = next hop
+};
+
+/// Why a decision event fired. kNone for events that carry no reason.
+enum class TraceReason : std::uint8_t {
+  kNone,
+  kExpectedRelay,        // claim condition 1: named as the expected relay
+  kLongerPrefix,         // claim condition 2: own code extends the target code
+  kNeighborPrefix,       // claim condition 3: a neighbor's code can progress
+  kRetryExhausted,       // gave up after the retransmission budget
+  kNeighborUnreachable,  // no live candidate neighbor to hand the task to
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEvent e) noexcept;
+[[nodiscard]] const char* trace_reason_name(TraceReason r) noexcept;
+/// Reverse lookups for re-loading exported traces; nullopt on unknown names.
+[[nodiscard]] std::optional<TraceEvent> trace_event_from_name(
+    std::string_view name) noexcept;
+[[nodiscard]] std::optional<TraceReason> trace_reason_from_name(
+    std::string_view name) noexcept;
 
 struct TraceRecord {
   SimTime time = 0;
   NodeId node = kInvalidNode;
   TraceEvent event{};
+  TraceReason reason = TraceReason::kNone;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
 };
 
-/// Bounded in-memory event trace with CSV export and simple analysis.
+/// Bounded in-memory event trace with CSV/JSONL export and simple analysis.
 /// Recording is cheap (append to a preallocated ring); when the capacity is
 /// exceeded the oldest records are dropped and `dropped()` counts them.
 class Tracer {
@@ -40,9 +72,15 @@ class Tracer {
   explicit Tracer(std::size_t capacity = 1 << 16);
 
   void record(SimTime time, NodeId node, TraceEvent event, std::uint64_t a = 0,
-              std::uint64_t b = 0);
+              std::uint64_t b = 0, TraceReason reason = TraceReason::kNone);
+
+  /// Runtime kill switch: while disabled, record() is a cheap early return
+  /// (the TELEA_TRACE_EVENT macro checks it before evaluating arguments).
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// Records in chronological order (oldest retained first).
@@ -55,12 +93,23 @@ class Tracer {
   [[nodiscard]] std::size_t count(TraceEvent event) const;
 
   /// The realized relay sequence of a control packet: every node that
-  /// transmitted it, in transmission order (duplicates collapsed).
+  /// transmitted it, in transmission order. Only *adjacent* repeats are
+  /// collapsed — a node that re-transmits later (e.g. after a backtrack
+  /// returned the task to it) appears again, so the trajectory keeps its
+  /// loops: A,A,B,A collapses to A,B,A, not A,B.
   [[nodiscard]] std::vector<NodeId> control_path(std::uint32_t seqno) const;
 
-  /// CSV export: time_s,node,event,a,b.
+  /// Human-readable reconstruction of one control packet's trajectory
+  /// (relays, suppressions, backtracks, redirects, ack path) with reasons.
+  [[nodiscard]] std::string explain(std::uint32_t seqno) const;
+
+  /// CSV export: time_s,node,event,a,b,reason.
   [[nodiscard]] std::string render_csv() const;
   bool write_csv(const std::string& path) const;
+
+  /// JSONL export: one {"t","node","event","a","b","reason"} object per line.
+  [[nodiscard]] std::string render_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
 
   void clear();
 
@@ -69,6 +118,48 @@ class Tracer {
   std::size_t head_ = 0;  // next write slot
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;
+  bool enabled_ = true;
 };
 
+/// Parses records back from JSONL text (as produced by render_jsonl). Lines
+/// that are not valid trace objects are skipped; the count of skipped lines
+/// is reported through `skipped` when non-null.
+[[nodiscard]] std::vector<TraceRecord> parse_trace_jsonl(
+    std::string_view text, std::size_t* skipped = nullptr);
+
+/// Loads a JSONL trace file; nullopt when the file cannot be read.
+[[nodiscard]] std::optional<std::vector<TraceRecord>> load_trace_jsonl(
+    const std::string& path, std::size_t* skipped = nullptr);
+
+/// The engine behind Tracer::explain, usable on records re-loaded from a
+/// JSONL export (tools reconstruct trajectories without the live Tracer).
+[[nodiscard]] std::string explain_control(
+    const std::vector<TraceRecord>& records, std::uint32_t seqno);
+
 }  // namespace telea
+
+/// Zero-overhead-when-off trace emission. Compile out entirely with
+/// -DTELEA_TRACING_DISABLED; otherwise a null check plus a runtime-enable
+/// check guard argument evaluation, so hot paths pay one predictable branch.
+#ifdef TELEA_TRACING_DISABLED
+// Dead branch: arguments stay type-checked and "used" (no -Wunused fallout
+// at call sites) but the optimizer removes the whole statement.
+#define TELEA_TRACE_EVENT(tracer, ...)                             \
+  do {                                                             \
+    if (false) {                                                   \
+      auto* telea_trace_tracer_ = (tracer);                        \
+      if (telea_trace_tracer_ != nullptr) {                        \
+        telea_trace_tracer_->record(__VA_ARGS__);                  \
+      }                                                            \
+    }                                                              \
+  } while (0)
+#else
+#define TELEA_TRACE_EVENT(tracer, ...)                             \
+  do {                                                             \
+    auto* telea_trace_tracer_ = (tracer);                          \
+    if (telea_trace_tracer_ != nullptr &&                          \
+        telea_trace_tracer_->enabled()) {                          \
+      telea_trace_tracer_->record(__VA_ARGS__);                    \
+    }                                                              \
+  } while (0)
+#endif

@@ -1,0 +1,191 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+#include "util/json.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("telea_test_total");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.set_total(42);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge& g = reg.gauge("telea_test_level");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, InstancesAreStableAndLabelOrderCanonical) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("telea_x_total", {{"node", "1"}, {"sub", "lpl"}});
+  // Same labels in a different order must resolve to the same instance.
+  Counter& b = reg.counter("telea_x_total", {{"sub", "lpl"}, {"node", "1"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.counter("telea_x_total", {{"node", "2"}, {"sub", "lpl"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, HistogramBucketsArePrometheusShaped) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("telea_lat_seconds", {0.1, 0.5, 1.0});
+  h.observe(0.05);
+  h.observe(0.3);
+  h.observe(0.3);
+  h.observe(2.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.65);
+  EXPECT_EQ(h.cumulative(0), 1u);  // <= 0.1
+  EXPECT_EQ(h.cumulative(1), 3u);  // <= 0.5
+  EXPECT_EQ(h.cumulative(2), 3u);  // <= 1.0
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.cumulative(2), 0u);
+}
+
+TEST(Metrics, PrometheusRenderingIsValidExposition) {
+  MetricsRegistry reg;
+  reg.describe("telea_ops_total", "operations performed");
+  reg.counter("telea_ops_total", {{"node", "3"}}).inc(7);
+  reg.gauge("telea_depth").set(4);
+  Histogram& h = reg.histogram("telea_lat_seconds", {0.5});
+  h.observe(0.25);
+  h.observe(0.75);
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP telea_ops_total operations performed\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE telea_ops_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("telea_ops_total{node=\"3\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE telea_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("telea_depth 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE telea_lat_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telea_lat_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telea_lat_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("telea_lat_seconds_sum 1\n"), std::string::npos);
+  EXPECT_NE(text.find("telea_lat_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(Metrics, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.counter("telea_ops_total", {{"node", "3"}, {"sub", "lpl"}}).inc(7);
+  reg.gauge("telea_depth").set(4.25);
+  Histogram& h = reg.histogram("telea_lat_seconds", {0.5, 1.0});
+  h.observe(0.25);
+  h.observe(0.75);
+  h.observe(5.0);
+
+  const auto doc = JsonValue::parse(reg.render_json());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->type(), JsonValue::Type::kArray);
+  ASSERT_EQ(metrics->as_array().size(), 3u);
+
+  // Entries are ordered by (name, labels); pick each back out and check the
+  // values survived the round trip exactly.
+  const JsonValue& depth = metrics->as_array()[0];
+  EXPECT_EQ(depth.string_or("name", ""), "telea_depth");
+  EXPECT_EQ(depth.string_or("type", ""), "gauge");
+  EXPECT_DOUBLE_EQ(depth.number_or("value", -1), 4.25);
+
+  const JsonValue& lat = metrics->as_array()[1];
+  EXPECT_EQ(lat.string_or("name", ""), "telea_lat_seconds");
+  EXPECT_EQ(lat.string_or("type", ""), "histogram");
+  EXPECT_DOUBLE_EQ(lat.number_or("sum", -1), 6.0);
+  EXPECT_DOUBLE_EQ(lat.number_or("count", -1), 3);
+  EXPECT_DOUBLE_EQ(lat.number_or("overflow", -1), 1);
+  const JsonValue* buckets = lat.find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets->as_array()[0].number_or("le", -1), 0.5);
+  EXPECT_DOUBLE_EQ(buckets->as_array()[0].number_or("count", -1), 1);
+  EXPECT_DOUBLE_EQ(buckets->as_array()[1].number_or("count", -1), 1);
+
+  const JsonValue& ops = metrics->as_array()[2];
+  EXPECT_EQ(ops.string_or("name", ""), "telea_ops_total");
+  EXPECT_EQ(ops.string_or("type", ""), "counter");
+  EXPECT_DOUBLE_EQ(ops.number_or("value", -1), 7);
+  const JsonValue* labels = ops.find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->string_or("node", ""), "3");
+  EXPECT_EQ(labels->string_or("sub", ""), "lpl");
+}
+
+TEST(Metrics, SnapshotDiffSubtractsCountersButNotGauges) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("telea_ops_total");
+  Gauge& g = reg.gauge("telea_depth");
+  Histogram& h = reg.histogram("telea_lat_seconds", {1.0});
+  c.inc(10);
+  g.set(5);
+  h.observe(0.5);
+
+  const MetricsSnapshot before = reg.snapshot();
+  EXPECT_DOUBLE_EQ(before.at("telea_ops_total"), 10.0);
+
+  c.inc(3);
+  g.set(2);
+  h.observe(0.25);
+  h.observe(7.0);
+
+  const MetricsSnapshot delta = reg.diff(before);
+  EXPECT_DOUBLE_EQ(delta.at("telea_ops_total"), 3.0);
+  EXPECT_DOUBLE_EQ(delta.at("telea_depth"), 2.0);  // gauge: current value
+  EXPECT_DOUBLE_EQ(delta.at("telea_lat_seconds_count"), 2.0);
+  EXPECT_DOUBLE_EQ(delta.at("telea_lat_seconds_bucket{le=\"1\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(delta.at("telea_lat_seconds_bucket{le=\"+Inf\"}"), 2.0);
+}
+
+TEST(MetricsIntegration, NetworkCollectorRefreshesWithoutDoubleCounting) {
+  NetworkConfig cfg;
+  cfg.topology = make_line(4, 22.0);
+  cfg.seed = 17;
+  cfg.protocol = ControlProtocol::kReTele;
+  Network net(cfg);
+  net.start();
+  net.run_for(4_min);
+
+  MetricsRegistry reg;
+  net.collect_metrics(reg);
+  const MetricsSnapshot first = reg.snapshot();
+  EXPECT_GT(reg.size(), 0u);
+  EXPECT_GT(first.at("telea_phy_transmissions_total{sub=\"phy\"}"), 0.0);
+
+  // Collecting again without advancing time must be idempotent — the
+  // collector mirrors absolute totals, it does not accumulate.
+  net.collect_metrics(reg);
+  const MetricsSnapshot second = reg.snapshot();
+  EXPECT_EQ(first, second);
+
+  net.run_for(2_min);
+  net.collect_metrics(reg);
+  const MetricsSnapshot delta = reg.diff(first);
+  EXPECT_GT(delta.at("telea_phy_transmissions_total{sub=\"phy\"}"), 0.0);
+
+  // The export formats stay parseable with the full live label set.
+  EXPECT_TRUE(JsonValue::parse(reg.render_json()).has_value());
+  EXPECT_NE(reg.render_prometheus().find("# TYPE telea_duty_cycle gauge"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace telea

@@ -59,9 +59,171 @@ TEST(Tracer, ControlPathCollapsesRepeats) {
 TEST(Tracer, CsvRendering) {
   Tracer t(4);
   t.record(1500000, 3, TraceEvent::kCodeChange, 12);
+  t.record(1600000, 4, TraceEvent::kBacktrack, 7, 2,
+           TraceReason::kRetryExhausted);
   const std::string csv = t.render_csv();
-  EXPECT_NE(csv.find("time_s,node,event,a,b"), std::string::npos);
-  EXPECT_NE(csv.find("1.500000,3,code_change,12,0"), std::string::npos);
+  EXPECT_NE(csv.find("time_s,node,event,a,b,reason"), std::string::npos);
+  EXPECT_NE(csv.find("1.500000,3,code_change,12,0,none"), std::string::npos);
+  EXPECT_NE(csv.find("1.600000,4,backtrack,7,2,retry_exhausted"),
+            std::string::npos);
+}
+
+TEST(Tracer, NamesRoundTripThroughLookups) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(TraceEvent::kAckPath);
+       ++i) {
+    const auto e = static_cast<TraceEvent>(i);
+    const auto back = trace_event_from_name(trace_event_name(e));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, e);
+  }
+  for (std::uint8_t i = 0;
+       i <= static_cast<std::uint8_t>(TraceReason::kNeighborUnreachable); ++i) {
+    const auto r = static_cast<TraceReason>(i);
+    const auto back = trace_reason_from_name(trace_reason_name(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(trace_event_from_name("bogus").has_value());
+  EXPECT_FALSE(trace_reason_from_name("bogus").has_value());
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t(4);
+  t.set_enabled(false);
+  t.record(1, 0, TraceEvent::kKill);
+  TELEA_TRACE_EVENT(&t, 2, 0, TraceEvent::kKill);
+  EXPECT_EQ(t.size(), 0u);
+  t.set_enabled(true);
+  TELEA_TRACE_EVENT(&t, 3, 0, TraceEvent::kKill);
+  EXPECT_EQ(t.size(), 1u);
+  Tracer* null_tracer = nullptr;
+  TELEA_TRACE_EVENT(null_tracer, 4, 0, TraceEvent::kKill);  // must not crash
+}
+
+TEST(TracerRing, ExactlyAtCapacityKeepsEverything) {
+  Tracer t(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    t.record(i, 0, TraceEvent::kTransmit, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.count(TraceEvent::kTransmit), 4u);
+  EXPECT_EQ(t.by_event(TraceEvent::kTransmit).size(), 4u);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(snap[i].a, i);
+}
+
+TEST(TracerRing, CapacityPlusOneDropsExactlyTheOldest) {
+  Tracer t(4);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    t.record(i, 0, TraceEvent::kTransmit, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 1u);
+  // count() and by_event() must agree with each other and with snapshot()
+  // right after the wrap.
+  EXPECT_EQ(t.count(TraceEvent::kTransmit), 4u);
+  const auto filtered = t.by_event(TraceEvent::kTransmit);
+  ASSERT_EQ(filtered.size(), 4u);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i].a, i + 1);  // record 0 was dropped; order chronological
+    EXPECT_EQ(filtered[i].a, i + 1);
+  }
+}
+
+TEST(TracerRing, SnapshotStaysChronologicalAcrossManyWraps) {
+  Tracer t(3);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    t.record(i * 10, 0, TraceEvent::kTransmit, i);
+  }
+  EXPECT_EQ(t.dropped(), 8u);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].a, 8u);
+  EXPECT_EQ(snap[1].a, 9u);
+  EXPECT_EQ(snap[2].a, 10u);
+  EXPECT_LT(snap[0].time, snap[1].time);
+  EXPECT_LT(snap[1].time, snap[2].time);
+}
+
+TEST(Tracer, ControlPathKeepsBacktrackLoops) {
+  // A backtracked trajectory revisits a node non-adjacently: A,A,B,A must
+  // collapse only the adjacent repeat, giving A,B,A — the loop is the
+  // evidence of the backtrack and must survive.
+  Tracer t(16);
+  t.record(1, 4, TraceEvent::kControlTx, 9);
+  t.record(2, 4, TraceEvent::kControlTx, 9);  // LPL copy at the same node
+  t.record(3, 6, TraceEvent::kControlTx, 9);  // claimed downstream
+  t.record(4, 6, TraceEvent::kBacktrack, 9, 4, TraceReason::kRetryExhausted);
+  t.record(5, 4, TraceEvent::kControlTx, 9);  // upstream retries
+  const auto path = t.control_path(9);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 4);
+  EXPECT_EQ(path[1], 6);
+  EXPECT_EQ(path[2], 4);
+}
+
+TEST(Tracer, ExplainReconstructsTrajectoryWithReasons) {
+  Tracer t(16);
+  t.record(1000000, 0, TraceEvent::kControlTx, 5, 1);
+  t.record(1100000, 1, TraceEvent::kForwardDecision, 5, 0,
+           TraceReason::kExpectedRelay);
+  t.record(1200000, 1, TraceEvent::kControlTx, 5, 2);
+  t.record(1300000, 1, TraceEvent::kBacktrack, 5, 0,
+           TraceReason::kNeighborUnreachable);
+  t.record(1400000, 2, TraceEvent::kRedirect, 5, 3,
+           TraceReason::kNeighborUnreachable);
+  const std::string text = t.explain(5);
+  EXPECT_NE(text.find("control seqno 5"), std::string::npos);
+  EXPECT_NE(text.find("expected_relay"), std::string::npos);
+  EXPECT_NE(text.find("backtrack"), std::string::npos);
+  EXPECT_NE(text.find("neighbor_unreachable"), std::string::npos);
+  EXPECT_NE(text.find("redirect"), std::string::npos);
+  EXPECT_NE(text.find("relay path: 0 1"), std::string::npos);
+  EXPECT_NE(t.explain(99).find("no records"), std::string::npos);
+}
+
+TEST(Tracer, JsonlRoundTripsThroughParser) {
+  Tracer t(16);
+  t.record(1500000, 3, TraceEvent::kForwardDecision, 12, 7,
+           TraceReason::kLongerPrefix);
+  t.record(1600000, 4, TraceEvent::kSuppress, 12, 3,
+           TraceReason::kRetryExhausted);
+  const std::string jsonl = t.render_jsonl();
+
+  std::size_t skipped = 0;
+  const auto parsed = parse_trace_jsonl(jsonl, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].time, 1500000u);
+  EXPECT_EQ(parsed[0].node, 3);
+  EXPECT_EQ(parsed[0].event, TraceEvent::kForwardDecision);
+  EXPECT_EQ(parsed[0].reason, TraceReason::kLongerPrefix);
+  EXPECT_EQ(parsed[0].a, 12u);
+  EXPECT_EQ(parsed[0].b, 7u);
+  EXPECT_EQ(parsed[1].event, TraceEvent::kSuppress);
+  EXPECT_EQ(parsed[1].reason, TraceReason::kRetryExhausted);
+
+  // explain_control over reloaded records matches the live tracer's view.
+  EXPECT_EQ(explain_control(parsed, 12), t.explain(12));
+}
+
+TEST(Tracer, JsonlParserSkipsMalformedLines) {
+  std::size_t skipped = 0;
+  const auto parsed = parse_trace_jsonl(
+      "{\"t\":1.0,\"node\":2,\"event\":\"kill\",\"a\":0,\"b\":0,"
+      "\"reason\":\"none\"}\n"
+      "not json at all\n"
+      "{\"t\":2.0,\"node\":9}\n"  // valid JSON, unknown shape -> kept? no event
+      "\n",
+      &skipped);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].node, 2);
+  EXPECT_EQ(parsed[0].event, TraceEvent::kKill);
+  EXPECT_EQ(skipped, 2u);
 }
 
 TEST(Tracer, ClearResets) {
