@@ -1,0 +1,61 @@
+// Robustness churn soak (extension): the same randomized churn + link-fault
+// scenario run with the reliable controller (retry / backoff / Re-Tele
+// escalation) and fire-and-forget, comparing command delivery, retries,
+// escalations and control-plane cost. Also writes the raw comparison as
+// $TELEA_RESULTS_DIR/robustness_churn.json (the soak test's artifact format).
+
+#include "bench_common.hpp"
+#include "harness/soak.hpp"
+
+using namespace telea;
+using namespace telea::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  ChurnSoakConfig cfg;
+  cfg.seed = opt.seed;
+  if (opt.full) {
+    cfg.nodes = 40;
+    cfg.warmup = 20 * kMinute;
+    cfg.duration = 2 * kHour;
+    cfg.outages = 12;
+    cfg.link_blackouts = 6;
+  }
+
+  std::printf("== Robustness churn: reliable controller vs fire-and-forget "
+              "(%zu nodes, %u faults scheduled) ==\n",
+              cfg.nodes,
+              cfg.outages + cfg.link_blackouts + (cfg.noise_burst ? 1u : 0u) +
+                  (cfg.state_loss_reboot ? 1u : 0u));
+
+  const ChurnSoakResult with_retries = run_churn_soak(cfg);
+  ChurnSoakConfig fire_and_forget = cfg;
+  fire_and_forget.reliable = false;
+  const ChurnSoakResult without = run_churn_soak(fire_and_forget);
+
+  TextTable table({"controller", "commands", "acked", "delivery", "retries",
+                   "escalations", "gave up", "tx/cmd"});
+  const auto add_row = [&table](const char* name, const ChurnSoakResult& r) {
+    table.row({name, std::to_string(r.commands), std::to_string(r.acked),
+               TextTable::fmt_pct(r.delivery_ratio(), 1),
+               std::to_string(r.retries), std::to_string(r.escalations),
+               std::to_string(r.gave_up), TextTable::fmt(r.tx_per_command, 1)});
+  };
+  add_row("reliable", with_retries);
+  add_row("fire-and-forget", without);
+  emit_table(table, "robustness_churn_table");
+
+  const char* results_env = std::getenv("TELEA_RESULTS_DIR");
+  const std::string results_dir =
+      results_env != nullptr ? results_env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(results_dir, ec);
+  if (!write_churn_soak_json(results_dir + "/robustness_churn.json", cfg,
+                             with_retries, without)) {
+    TELEA_WARN("bench") << "could not write robustness_churn.json";
+  }
+  std::printf("expected: the reliable controller recovers nearly every "
+              "command the faults cost the fire-and-forget baseline\n");
+  return 0;
+}

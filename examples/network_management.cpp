@@ -61,7 +61,10 @@ int main(int argc, char** argv) {
 
   // --- remote adjustment of a *live* node --------------------------------
   // Independently of the dead node, the operator retunes a healthy one:
-  // e.g. command 0x0101 = "double your sampling rate".
+  // e.g. command 0x0101 = "double your sampling rate". The controller owns
+  // the command lifecycle — it retries on ack timeout, escalates to a
+  // Re-Tele detour if plain retries keep failing, and reports the terminal
+  // outcome through on_command_resolved.
   const NodeId target = 9;
   bool adjusted = false;
   net.node(target).tele()->on_control_delivered =
@@ -71,6 +74,26 @@ int main(int argc, char** argv) {
                     target, p.command, p.hops_so_far,
                     direct ? " (via Re-Tele detour)" : "");
       };
+  bool acked = false;
+  controller.on_command_resolved = [&acked](const CommandResolution& res) {
+    switch (res.outcome) {
+      case CommandOutcome::kAcked:
+        acked = true;
+        std::printf("  sink received the end-to-end ack (attempt %u of the "
+                    "command, %.1f s after issue)\n",
+                    res.attempts,
+                    to_seconds(res.resolved_at - res.issued_at));
+        break;
+      case CommandOutcome::kGaveUp:
+        std::printf("  controller gave up after %u attempts "
+                    "(%u escalated to a detour)\n",
+                    res.attempts, res.escalations);
+        break;
+      case CommandOutcome::kNoCode:
+        std::printf("  node %u is not addressable (no path code)\n", res.dest);
+        break;
+    }
+  };
   const auto& code = net.node(target).tele()->addressing().code();
   std::printf("[t=%2.0f min] controller sends command to node %u "
               "(path code %s)\n",
@@ -79,8 +102,6 @@ int main(int argc, char** argv) {
   controller.send_command(target, 0x0101);
   net.run_for(2_min);
 
-  const bool acked = !controller.acked().empty();
-  if (acked) std::printf("  sink received the end-to-end ack\n");
   std::printf("\nresult: adjusted=%s, e2e-acked=%s, mean duty cycle %.2f%%\n",
               adjusted ? "yes" : "no", acked ? "yes" : "no",
               net.average_duty_cycle() * 100);

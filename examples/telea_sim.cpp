@@ -27,6 +27,12 @@
 //   metrics=DIR         write metrics.prom + metrics.json into DIR
 //   profile=false       collect + print simulator self-profiling stats
 //   log=warn            trace | debug | info | warn | error | off
+//
+// Fault injection (all applied after warm-up, see docs/ROBUSTNESS.md):
+//   churn=N             N randomized node outages during measurement (0)
+//   downtime=S          per-outage downtime seconds (120)
+//   noise=DBM           one mid-run noise burst at DBM on a random node (off)
+//   reboot=NODE         state-loss reboot of NODE at mid-run (off)
 
 #include <cstdio>
 #include <filesystem>
@@ -34,7 +40,9 @@
 #include <system_error>
 
 #include "harness/experiment.hpp"
+#include "harness/faults.hpp"
 #include "harness/topology_export.hpp"
+#include "util/rng.hpp"
 #include "stats/table.hpp"
 #include "topo/topology.hpp"
 #include "util/config.hpp"
@@ -149,13 +157,51 @@ int main(int argc, char** argv) {
   const std::string trace_path = cfg.get_string("trace");
   const std::string metrics_dir = cfg.get_string("metrics");
   const bool profile = cfg.get_bool("profile", false);
+  const auto churn = static_cast<std::size_t>(cfg.get_int("churn", 0));
+  const auto downtime =
+      static_cast<SimTime>(cfg.get_int("downtime", 120)) * kSecond;
+  const double noise_dbm = cfg.get_double("noise", 1.0);  // >0 dBm = off
+  const int reboot_node = static_cast<int>(cfg.get_int("reboot", -1));
+  const SimTime duration = experiment.duration;
 
-  experiment.on_warmed_up = [dot_path, trace_path, profile](Network& net) {
+  experiment.on_warmed_up = [dot_path, trace_path, profile, churn, downtime,
+                             noise_dbm, reboot_node, duration,
+                             seed](Network& net) {
     if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
       TELEA_WARN("telea_sim") << "could not write " << dot_path;
     }
     if (!trace_path.empty()) net.enable_tracing();
     if (profile) net.sim().set_profiling(true);
+
+    // Fault plan over the measurement window (docs/ROBUSTNESS.md).
+    const SimTime t0 = net.sim().now();
+    FaultPlan plan;
+    if (churn > 0 && duration > 2 * downtime) {
+      // random_churn takes an absolute end time; leave one downtime of slack
+      // so the last outage's revive still lands inside the measurement.
+      plan = FaultPlan::random_churn(net.size(), churn, t0 + kMinute,
+                                     t0 + duration - downtime, downtime,
+                                     seed ^ 0x51Cull);
+    }
+    if (noise_dbm <= 0.0) {
+      Pcg32 rng(seed, 0x4011ull);
+      const NodeId victim =
+          static_cast<NodeId>(1 + rng.uniform(
+              static_cast<std::uint32_t>(net.size() - 1)));
+      plan.noise_burst(t0 + duration / 2, 2 * kMinute, {victim}, noise_dbm);
+      std::printf("fault: noise burst at %.1f dBm on node %u mid-run\n",
+                  noise_dbm, victim);
+    }
+    if (reboot_node >= 0 && static_cast<std::size_t>(reboot_node) < net.size()) {
+      plan.reboot_with_state_loss_at(t0 + duration / 3,
+                                     static_cast<NodeId>(reboot_node));
+      std::printf("fault: state-loss reboot of node %d at t+%.0f s\n",
+                  reboot_node, to_seconds(duration / 3));
+    }
+    if (!plan.events().empty()) {
+      std::printf("fault plan: %zu scheduled events\n", plan.events().size());
+      plan.apply(net);
+    }
   };
   experiment.on_finished = [trace_path, metrics_dir, profile](Network& net) {
     if (!trace_path.empty()) {

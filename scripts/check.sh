@@ -6,6 +6,12 @@
 #   scripts/check.sh              # both passes
 #   scripts/check.sh --fast       # default pass only
 #   scripts/check.sh --san-only   # sanitizer pass only
+#
+# Long randomized soaks (ctest label "soak") are excluded from the fast
+# default pass and run once under the sanitizers, where their fault-plan
+# churn covers the most lifecycle/teardown code per wall-clock second.
+# Plain `ctest` still runs everything. Any bench_results/*.json the test
+# runs produce must parse (tools/json_lint) or the check fails.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,21 +28,36 @@ done
 
 build_and_test() {
   local dir="$1"; shift
+  local labels="$1"; shift
   cmake -S "$repo" -B "$dir" "$@" >/dev/null
   cmake --build "$dir" -j "$jobs"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -LE soak
+  if [ "$labels" = "soak" ]; then
+    ctest --test-dir "$dir" --output-on-failure -L soak
+  fi
+  lint_results "$dir"
+}
+
+lint_results() {
+  local dir="$1"
+  local artifacts=()
+  while IFS= read -r f; do artifacts+=("$f"); done \
+    < <(find "$dir" -path '*/bench_results/*.json' 2>/dev/null)
+  if [ "${#artifacts[@]}" -gt 0 ]; then
+    "$dir/tools/json_lint" "${artifacts[@]}"
+  fi
 }
 
 if [ "$run_plain" = 1 ]; then
-  echo "== default build + tests =="
-  build_and_test "$repo/build"
+  echo "== default build + tests (soak excluded) =="
+  build_and_test "$repo/build" ""
 fi
 
 if [ "$run_san" = 1 ]; then
-  echo "== ASan/UBSan build + tests =="
+  echo "== ASan/UBSan build + tests (incl. one soak pass) =="
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-  build_and_test "$repo/build-asan" "-DTELEA_SANITIZE=address;undefined"
+  build_and_test "$repo/build-asan" "soak" "-DTELEA_SANITIZE=address;undefined"
 fi
 
 echo "all checks passed"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the robustness churn soak (reliable controller vs fire-and-forget
+# under randomized node outages, parent-link blackouts, a noise burst and a
+# state-loss reboot) and validates the exported artifact. Usage:
+#
+#   scripts/soak.sh               # quick profile (~seconds)
+#   scripts/soak.sh --full        # paper-scale profile (40 nodes, 2 h sim)
+#   scripts/soak.sh --seed 9      # change the randomized fault plan
+#
+# Results land in bench_results/robustness_churn.json (override the
+# directory with TELEA_RESULTS_DIR). See docs/ROBUSTNESS.md.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" -j "$jobs" --target bench_robustness_churn json_lint
+
+results="${TELEA_RESULTS_DIR:-$repo/bench_results}"
+mkdir -p "$results"
+TELEA_RESULTS_DIR="$results" "$build/bench/bench_robustness_churn" "$@"
+"$build/tools/json_lint" "$results/robustness_churn.json"

@@ -25,6 +25,31 @@ void Addressing::start() {
   request_timer_.start_periodic(config_.request_retry);
 }
 
+void Addressing::reset() {
+  stability_timer_.stop();
+  request_timer_.stop();
+  beacon_timer_.stop();
+  const bool had_code = has_code();
+  code_ = PathCode{};
+  old_code_ = PathCode{};
+  code_parent_ = kInvalidNode;
+  have_position_ = false;
+  position_ = 0;
+  space_bits_ = 0;
+  allocated_ = false;
+  child_table_.clear();
+  neighbors_.clear();
+  discovered_.clear();
+  trigger_at_.reset();
+  code_at_.reset();
+  last_new_child_ = 0;
+  last_request_at_ = 0;
+  parent_send_failures_ = 0;
+  beacon_pending_ = false;
+  pending_beacon_repeats_ = 0;
+  if (had_code && on_code_changed) on_code_changed();
+}
+
 void Addressing::on_route_found() {
   if (trigger_at_.has_value()) return;
   trigger_at_ = sim_->now();

@@ -49,6 +49,12 @@ class Addressing final : public BeaconPiggyback {
   /// Starts internal timers. Call at node boot.
   void start();
 
+  /// Wipes every piece of addressing state (code, position, space, child and
+  /// neighbor tables, timers) back to the just-constructed blank — the RAM
+  /// loss of a reboot without persistent storage. Fires on_code_changed if a
+  /// code was lost. Call start() afterwards to resume operation.
+  void reset();
+
   // --- events from the routing plane (wired by the TeleAdjusting facade) --
   void on_route_found();
   void on_parent_changed(NodeId old_parent, NodeId new_parent);

@@ -141,6 +141,8 @@ AckDecision Forwarding::handle_control(NodeId from,
                                        bool for_me) {
   const NodeId me = mac_->id();
   PacketState& st = state_for(packet);
+  addressing_->neighbors().expire_unreachable(sim_->now(),
+                                              config_.unreachable_timeout);
 
   // --- destination / detour direct delivery -------------------------------
   if (packet.dest == me) {
@@ -161,7 +163,12 @@ AckDecision Forwarding::handle_control(NodeId from,
   }
 
   // --- suppression ---------------------------------------------------------
-  if (st.finished) return AckDecision::kIgnore;
+  // Finished is final for this copy of the packet — but a re-routed attempt
+  // (the origin escalated to a different detour waypoint, reusing the seqno
+  // for destination dedup) is a new instruction, not a resurrection.
+  if (st.finished && packet.detour_via == st.packet.detour_via) {
+    return AckDecision::kIgnore;
+  }
   if (st.holding) {
     // Someone at least as far along is carrying the packet: drop our copy
     // (including any transmission already handed to the MAC).
@@ -229,6 +236,9 @@ void Forwarding::claim(NodeId from, const msg::ControlPacket& packet) {
       static_cast<std::uint8_t>(packet.hops_so_far + 1);
   st.holding = true;
   st.done = false;
+  // Every caller gates claims on the finished latch; reaching here means the
+  // copy was judged materially new (e.g. a re-routed detour), so un-latch.
+  st.finished = false;
   st.attempts = 0;
   st.came_from = from;
   // The progress we promised to beat: our own on-path depth, or — when
@@ -301,6 +311,11 @@ void Forwarding::forward(std::uint32_t seqno) {
   auto it = states_.find(seqno);
   if (it == states_.end() || !it->second.holding) return;
   PacketState& st = it->second;
+  // Lazy lease check: the unreachable_timeout safety valve must not depend
+  // on a routing beacon happening to arrive (steady-state trickle intervals
+  // run to minutes) — expire stale marks at every forwarding decision too.
+  addressing_->neighbors().expire_unreachable(sim_->now(),
+                                              config_.unreachable_timeout);
   const NodeId me = mac_->id();
   msg::ControlPacket packet = st.packet;
 
@@ -448,6 +463,15 @@ void Forwarding::backtrack(std::uint32_t seqno, TraceReason reason) {
     TELEA_DEBUG("tele.fwd") << "node " << mac_->id() << " seq " << seqno
                             << " abandons after " << st.backtrack_rounds
                             << " backtrack rounds";
+    // Out of budget is still a verdict. Hand the packet upstream one final
+    // time — without it, the packet dies silently between two relays and the
+    // origin waits forever for an ack that cannot come. The finished flag
+    // stops this node from ever re-claiming the doomed packet, so no
+    // ping-pong: each node forwards the verdict at most once.
+    if (!st.finished) {
+      send_feedback(seqno, /*attempt=*/0);
+      st.finished = true;
+    }
     return;
   }
   ++st.backtrack_rounds;
@@ -483,6 +507,8 @@ AckDecision Forwarding::handle_feedback(NodeId from,
                                         bool for_me) {
   const msg::ControlPacket& packet = feedback.packet;
   PacketState& st = state_for(packet);
+  addressing_->neighbors().expire_unreachable(sim_->now(),
+                                              config_.unreachable_timeout);
 
   if (for_me) {
     // The downstream relay we handed the packet to could not progress: mark
@@ -490,7 +516,15 @@ AckDecision Forwarding::handle_feedback(NodeId from,
     // only within our own backtrack budget, or two relays bounce an
     // undeliverable packet forever.
     if (st.backtrack_rounds >= config_.max_backtracks) {
-      return AckDecision::kAcceptAndAck;  // absorb and drop
+      // Budget spent here too: relay the verdict toward the origin instead
+      // of absorbing it — a silent drop would leave the sink waiting for an
+      // ack that can never come.
+      if (st.came_from != kInvalidNode && !st.finished) {
+        st.holding = false;
+        send_feedback(packet.seqno, /*attempt=*/0);
+        st.finished = true;
+      }
+      return AckDecision::kAcceptAndAck;
     }
     addressing_->neighbors().mark_unreachable(from, sim_->now());
     st.packet = packet;
@@ -509,6 +543,7 @@ AckDecision Forwarding::handle_feedback(NodeId from,
   // *at* the expected progress qualifies here: the failed relay's expected
   // relay (C itself) is exactly who should take over.
   if (st.holding) return AckDecision::kIgnore;
+  if (st.finished) return AckDecision::kIgnore;  // we already abandoned it
   if (!config_.opportunistic) return AckDecision::kIgnore;
   const std::size_t mine = own_match_len(packet);
   const bool can_progress =
@@ -516,7 +551,18 @@ AckDecision Forwarding::handle_feedback(NodeId from,
       (mine > 0 && mine >= packet.expected_relay_code_len) ||
       (config_.neighbor_assist && neighbor_can_progress(packet));
   if (!can_progress) return AckDecision::kIgnore;
+  // The sender just declared itself stuck either way.
   addressing_->neighbors().mark_unreachable(from, sim_->now());
+  // A rescue must be real: our ack stops the feedback, so claiming while
+  // every downstream candidate is marked unreachable only destroys the
+  // verdict on its way to the origin. (Delivering directly is always real.)
+  if (packet.dest != mac_->id() && route_target(packet) != mac_->id() &&
+      !pick_expected_relay(packet,
+                           std::max<std::size_t>(
+                               mine, packet.expected_relay_code_len))
+           .has_value()) {
+    return AckDecision::kIgnore;
+  }
   ++stats_.feedback_claims;
   const TraceReason rescue_reason =
       (packet.dest == mac_->id() || packet.expected_relay == mac_->id())
@@ -535,6 +581,18 @@ void Forwarding::on_beacon_heard(NodeId from) {
   addressing_->neighbors().mark_reachable(from);
   addressing_->neighbors().expire_unreachable(sim_->now(),
                                               config_.unreachable_timeout);
+}
+
+void Forwarding::reset() {
+  // Collect in-flight tokens first, then clear, then cancel: cancellation
+  // callbacks fire synchronously and must find no state to mutate. Scheduled
+  // defer/forward events for the wiped seqnos no-op on the states_ lookup.
+  std::vector<std::uint32_t> tokens;
+  for (const auto& [seqno, st] : states_) {
+    if (st.mac_token.has_value()) tokens.push_back(*st.mac_token);
+  }
+  states_.clear();
+  for (const std::uint32_t token : tokens) mac_->cancel_send(token);
 }
 
 void Forwarding::note_ack_overheard(std::uint32_t seqno) {

@@ -96,6 +96,11 @@ class Forwarding {
   /// Routing beacons clear unreachable marks (Sec. III-C3) — call per beacon.
   void on_beacon_heard(NodeId from);
 
+  /// Drops every per-packet state (cancelling in-flight sends) — the RAM
+  /// loss of a reboot. Stats survive: they model serial-reported counters
+  /// accumulated at the controller, not node RAM.
+  void reset();
+
   /// An end-to-end acknowledgement for `seqno` was overheard riding the
   /// collection plane: the destination has the packet, so any local state
   /// for it is finished business (suppresses straggler duplicates).

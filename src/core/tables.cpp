@@ -95,8 +95,12 @@ void NeighborCodeTable::observe(NodeId neighbor, const PathCode& code,
 
 void NeighborCodeTable::mark_unreachable(NodeId neighbor, SimTime now) {
   Entry& e = find_or_insert(neighbor);
+  // The lease runs from the FIRST failure: re-marking an already-marked
+  // neighbor (every retry that skips it re-reports it blocked) must not
+  // extend the lease, or a retry cadence shorter than the timeout keeps the
+  // mark alive forever and the unreachable_timeout safety valve never fires.
+  if (!e.unreachable) e.unreachable_since = now;
   e.unreachable = true;
-  e.unreachable_since = now;
 }
 
 void NeighborCodeTable::mark_reachable(NodeId neighbor) {

@@ -87,6 +87,7 @@ class NeighborCodeTable {
   void expire_unreachable(SimTime now, SimTime timeout);
 
   void remove(NodeId neighbor);
+  void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
  private:

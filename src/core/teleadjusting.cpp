@@ -32,6 +32,13 @@ void TeleAdjusting::start() {
   addressing_.start();
 }
 
+void TeleAdjusting::reset_state() {
+  forwarding_.reset();
+  addressing_.reset();
+  detour_tried_.clear();
+  last_direct_from_ = kInvalidNode;
+}
+
 void TeleAdjusting::on_route_found() { addressing_.on_route_found(); }
 
 void TeleAdjusting::on_parent_changed(NodeId old_parent, NodeId new_parent) {

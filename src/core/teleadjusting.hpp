@@ -51,6 +51,13 @@ class TeleAdjusting final : public CtpListener {
   /// Wires CTP hooks and starts the addressing plane. Call at node boot.
   void start();
 
+  /// Wipes the whole protocol state (addressing tables, forwarding state,
+  /// Re-Tele bookkeeping) — the RAM loss of a state-losing reboot. The node
+  /// keeps running; call start() again to resume timers. Neighbors retain
+  /// our *old* code, which is exactly the stale-code delivery case the
+  /// paper's old-code matching exists for (Sec. III-B6).
+  void reset_state();
+
   /// Dispatcher entry: handles TeleBeacon / PositionRequest / AllocationAck /
   /// ConfirmFrame / ControlPacket / FeedbackPacket frames, plus the
   /// detour-returned e2e acknowledgement (a CtpData unicast that is not part

@@ -1,12 +1,55 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "harness/network.hpp"
+#include "stats/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace telea {
+
+/// Terminal state of a tracked command's lifecycle.
+enum class CommandOutcome : std::uint8_t {
+  kAcked,   // end-to-end acknowledgement arrived at the sink
+  kGaveUp,  // retry budget exhausted without an ack
+  kNoCode,  // destination was never addressable (no path code known)
+};
+
+[[nodiscard]] const char* command_outcome_name(CommandOutcome o) noexcept;
+
+/// Reliable-delivery policy for Controller::send_command. With `enabled` the
+/// controller tracks every command until an e2e ack arrives: unacked commands
+/// are re-sent after `ack_timeout` with exponential backoff (factor
+/// `backoff_factor`, capped at `max_backoff`, de-synchronized by ±`jitter`),
+/// and after `escalate_after` plain retries the re-send goes through the
+/// Re-Tele redirect path (Sec. III-C4) instead of the plain encoded path.
+/// After `max_retries` re-sends the command is abandoned (kGaveUp).
+struct ControllerRetryConfig {
+  bool enabled = true;
+  SimTime ack_timeout = 25 * kSecond;
+  double backoff_factor = 2.0;
+  SimTime max_backoff = 2 * kMinute;
+  double jitter = 0.25;
+  unsigned max_retries = 4;
+  unsigned escalate_after = 2;
+};
+
+/// Everything known about a command when its lifecycle closes.
+struct CommandResolution {
+  NodeId dest = kInvalidNode;
+  std::uint16_t command = 0;
+  std::uint32_t first_seqno = 0;  // seqno of the initial transmission
+  std::uint32_t last_seqno = 0;   // seqno of the attempt that closed it
+  CommandOutcome outcome = CommandOutcome::kGaveUp;
+  unsigned attempts = 0;  // total sends (initial + retries)
+  unsigned escalations = 0;
+  SimTime issued_at = 0;
+  SimTime resolved_at = 0;
+};
 
 /// The remote controller of the paper's Fig. 1: the entity behind the sink
 /// that watches collected data, detects anomalies, and issues remote-control
@@ -15,9 +58,14 @@ namespace telea {
 /// the simulated network, which is exactly the knowledge the paper grants it
 /// ("the local topology information of each node is necessary and likely
 /// known", Sec. III-C4).
+///
+/// Commands are tracked through a full lifecycle (see ControllerRetryConfig):
+/// pending until acked, re-sent on ack timeout, escalated to a Re-Tele detour
+/// when plain retries keep failing, and finally resolved as kAcked / kGaveUp
+/// through `on_command_resolved`.
 class Controller {
  public:
-  explicit Controller(Network& net);
+  explicit Controller(Network& net, ControllerRetryConfig retry = {});
 
   // --- data-plane monitoring (anomaly detection) -------------------------
   /// Feed every CtpData delivered at the sink.
@@ -46,29 +94,92 @@ class Controller {
   void set_use_reported_codes(bool use) { use_reported_codes_ = use; }
 
   // --- control plane -------------------------------------------------------
-  /// Sends `command` to `node`, addressed by its current reported path code.
-  /// Returns the control seqno, or nullopt when the node has no code or the
-  /// network runs a non-TeleAdjusting protocol.
+  /// Sends `command` to `node`, addressed by its current reported path code,
+  /// and (when retries are enabled) tracks it until it resolves. Returns the
+  /// control seqno of the first attempt, or nullopt when the node has no
+  /// code or the network runs a non-TeleAdjusting protocol (in which case
+  /// on_command_resolved fires immediately with kNoCode).
   std::optional<std::uint32_t> send_command(NodeId node,
                                             std::uint16_t command);
 
   /// One-to-many: sends `command` to every node in `nodes` as a group
-  /// packet. Returns the group seqno, or nullopt when unsupported.
+  /// packet. Returns the group seqno, or nullopt when unsupported. Group
+  /// packets are fire-and-forget (no retry tracking).
   std::optional<std::uint32_t> send_command_group(
       const std::vector<NodeId>& nodes, std::uint16_t command);
 
+  /// Fires exactly once per tracked command, when its lifecycle closes.
+  std::function<void(const CommandResolution&)> on_command_resolved;
+
   /// Acknowledged command seqnos seen so far (from e2e acks at the sink).
+  /// A retried command appears under whichever attempt's seqno got acked.
   [[nodiscard]] const std::vector<std::uint32_t>& acked() const noexcept {
     return acked_;
   }
 
+  // --- lifecycle introspection ---------------------------------------------
+  [[nodiscard]] const ControllerRetryConfig& retry_config() const noexcept {
+    return retry_;
+  }
+  [[nodiscard]] std::size_t pending_commands() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t escalations() const noexcept {
+    return escalations_;
+  }
+  [[nodiscard]] std::uint64_t gave_up() const noexcept { return gave_up_; }
+  [[nodiscard]] std::uint64_t resolved_acked() const noexcept {
+    return resolved_acked_;
+  }
+  [[nodiscard]] std::uint64_t no_code() const noexcept { return no_code_; }
+
+  /// Mirrors the controller's lifecycle counters into `registry`
+  /// (telea_controller_* series; collector-style, call again to refresh).
+  void collect_metrics(MetricsRegistry& registry) const;
+
  private:
+  struct PendingCommand {
+    NodeId dest = kInvalidNode;
+    std::uint16_t command = 0;
+    PathCode code;  // the code the last attempt was addressed with
+    std::uint32_t first_seqno = 0;
+    std::uint32_t last_seqno = 0;
+    unsigned attempts = 1;
+    unsigned escalations = 0;
+    bool last_escalated = false;
+    SimTime issued_at = 0;
+    SimTime backoff = 0;  // timeout armed for the current attempt
+    EventHandle timeout;
+  };
+
+  /// Resolves the code to address `node` with, honoring the reported-codes
+  /// mode. nullopt when the node is not addressable.
+  [[nodiscard]] std::optional<PathCode> address_of(NodeId node) const;
+
+  void arm_timeout(std::uint64_t id, SimTime delay);
+  void on_timeout(std::uint64_t id);
+  void on_ack(std::uint32_t seqno);
+  void on_failed(std::uint32_t seqno);
+  void resolve(std::uint64_t id, CommandOutcome outcome);
+
   Network* net_;
+  ControllerRetryConfig retry_;
+  Pcg32 rng_;
   bool use_reported_codes_ = false;
   std::map<NodeId, PathCode> reported_;
   std::map<NodeId, unsigned> arrivals_;
   std::map<NodeId, unsigned> window_start_;
   std::vector<std::uint32_t> acked_;
+
+  std::map<std::uint64_t, PendingCommand> pending_;
+  std::map<std::uint32_t, std::uint64_t> seqno_to_cmd_;
+  std::uint64_t next_cmd_id_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t gave_up_ = 0;
+  std::uint64_t resolved_acked_ = 0;
+  std::uint64_t no_code_ = 0;
 };
 
 }  // namespace telea

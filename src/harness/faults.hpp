@@ -7,27 +7,37 @@
 
 namespace telea {
 
-/// A reproducible failure schedule: kill/revive actions at absolute virtual
-/// times, applied to a Network before (or while) it runs. Robustness
+/// A reproducible failure schedule applied to a Network: node outages
+/// (kill/revive), state-losing reboots, link degradations/blackouts, noise
+/// bursts and partitions, all at absolute virtual times. Robustness
 /// experiments and churn studies build on this instead of hand-placed
 /// schedule_in calls.
 class FaultPlan {
  public:
-  enum class Action : std::uint8_t { kKill, kRevive };
+  enum class Action : std::uint8_t {
+    kKill,
+    kRevive,
+    kRebootStateLoss,  // node comes back with all protocol state wiped
+    kLinkLoss,         // add `value` dB of loss on node<->peer (negative undoes)
+    kNoiseOn,          // inject a `value` dBm noise source at node
+    kNoiseOff,         // remove the injected noise source at node
+  };
 
   struct Event {
     SimTime at = 0;
     NodeId node = kInvalidNode;
     Action action = Action::kKill;
+    NodeId peer = kInvalidNode;  // kLinkLoss only: the other endpoint
+    double value = 0.0;          // kLinkLoss: dB offset; kNoiseOn: dBm level
   };
 
   FaultPlan& kill_at(SimTime at, NodeId node) {
-    events_.push_back(Event{at, node, Action::kKill});
+    events_.push_back(Event{at, node, Action::kKill, kInvalidNode, 0.0});
     return *this;
   }
 
   FaultPlan& revive_at(SimTime at, NodeId node) {
-    events_.push_back(Event{at, node, Action::kRevive});
+    events_.push_back(Event{at, node, Action::kRevive, kInvalidNode, 0.0});
     return *this;
   }
 
@@ -36,8 +46,38 @@ class FaultPlan {
     return kill_at(at, node).revive_at(at + downtime, node);
   }
 
+  /// The hard case for path coding: the node is down for `downtime`, then
+  /// reboots having lost every table (NodeStack::reboot_with_state_loss).
+  /// Stale codes held by neighbors and the controller must still deliver.
+  FaultPlan& outage_with_state_loss(SimTime at, SimTime downtime, NodeId node);
+
+  /// Immediate state-losing reboot (no downtime window).
+  FaultPlan& reboot_with_state_loss_at(SimTime at, NodeId node);
+
+  /// Adds `extra_loss_db` of attenuation on the (symmetric) link a<->b for
+  /// `duration`, then removes it. A few dB turns a good link marginal; large
+  /// values sever it.
+  FaultPlan& degrade_link(SimTime at, SimTime duration, NodeId a, NodeId b,
+                          double extra_loss_db);
+
+  /// Severs the link a<->b outright for `duration`.
+  FaultPlan& blackout_link(SimTime at, SimTime duration, NodeId a, NodeId b);
+
+  /// Raises the noise floor of every node in `region` to (at least) `dbm`
+  /// for `duration` — a co-located appliance / jammer burst.
+  FaultPlan& noise_burst(SimTime at, SimTime duration,
+                         const std::vector<NodeId>& region, double dbm);
+
+  /// Cuts the network: every link between a node in `island` and a node
+  /// outside it (over all `node_count` nodes) is blacked out for `duration`.
+  FaultPlan& partition(SimTime at, SimTime duration,
+                       const std::vector<NodeId>& island,
+                       std::size_t node_count);
+
   /// Random churn: `count` outages of `downtime` each, uniformly placed over
-  /// [start, end) on uniformly random non-sink nodes.
+  /// [start, end) on uniformly random non-sink nodes. Per-node outages never
+  /// overlap (an overlapping pair would let the first revive resurrect a
+  /// node mid-second-outage); placements that would overlap are re-drawn.
   static FaultPlan random_churn(std::size_t node_count, std::size_t count,
                                 SimTime start, SimTime end, SimTime downtime,
                                 std::uint64_t seed);
@@ -46,8 +86,10 @@ class FaultPlan {
     return events_;
   }
 
-  /// Schedules every event on the network's simulator. Call once, before
-  /// running past the earliest event. Events for out-of-range nodes are
+  /// Schedules every event on the network's simulator, in time order.
+  /// Call once, before running past the earliest event. Events whose time is
+  /// already in the past are clamped to `now` (with a warning) so they still
+  /// fire in their scheduled order; events for out-of-range nodes are
   /// ignored.
   void apply(Network& net) const;
 

@@ -140,6 +140,20 @@ void NodeStack::revive() {
   mac_.restart();
 }
 
+void NodeStack::reboot_with_state_loss() {
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_->now(), id(), TraceEvent::kReboot);
+  }
+  data_timer_.stop();
+  if (!mac_.stopped()) mac_.stop();  // flush queue + in-flight sends
+  if (tele_) tele_->reset_state();   // forwarding first, then addressing
+  ctp_.reset_routing();
+  mac_.restart();
+  ctp_.start();  // trickle already at Imin from reset_routing
+  if (tele_) tele_->start();
+  if (data_ipi_ > 0) start_data_collection(data_ipi_, data_seed_);
+}
+
 void NodeStack::set_tracer(Tracer* tracer) {
   tracer_ = tracer;
   mac_.set_tracer(tracer);
@@ -160,6 +174,8 @@ void NodeStack::set_tracer(Tracer* tracer) {
 void NodeStack::start_data_collection(SimTime ipi, std::uint64_t seed) {
   if (mac_.stopped()) return;
   if (ctp_.is_root()) return;
+  data_ipi_ = ipi;
+  data_seed_ = seed;
   Pcg32 rng(seed ^ (0xDA7AULL + id()), id());
   data_timer_.set_callback([this] {
     msg::CtpData data;

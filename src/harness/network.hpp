@@ -95,6 +95,15 @@ class NodeStack final : public FrameHandler, public CtpListener {
   void revive();
   [[nodiscard]] bool killed() const noexcept { return mac_.stopped(); }
 
+  /// The hard reboot: the node comes straight back up but every piece of
+  /// volatile protocol state — CTP routes, link estimates, path code, child
+  /// and neighbor code tables, forwarding state — is wiped. Neighbors (and
+  /// the controller) still hold the node's *old* code, so commands sent in
+  /// the repair window exercise the paper's stale-code delivery machinery.
+  /// If data collection was running it resumes immediately (the application
+  /// restarts with the firmware).
+  void reboot_with_state_loss();
+
   /// Attaches a structured event tracer (parent changes, code changes,
   /// kill/revive for this node). Pass nullptr to detach.
   void set_tracer(Tracer* tracer);
@@ -110,6 +119,9 @@ class NodeStack final : public FrameHandler, public CtpListener {
   Timer data_timer_;
   Simulator* sim_;
   Tracer* tracer_ = nullptr;
+  // Remembered so a state-loss reboot restarts the application workload.
+  SimTime data_ipi_ = 0;
+  std::uint64_t data_seed_ = 0;
 };
 
 /// A complete simulated deployment: radio substrate + one NodeStack per

@@ -1,0 +1,222 @@
+#include "harness/soak.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "harness/faults.hpp"
+#include "topo/topology.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+
+namespace {
+
+/// Builds the mixed fault schedule from the *converged* network: churn on
+/// random nodes, blackouts on links the CTP tree is actually using, a noise
+/// burst near a relay, and one state-losing reboot (the stale-code case).
+FaultPlan build_fault_plan(const ChurnSoakConfig& cfg, Network& net,
+                           unsigned* faults_out) {
+  const SimTime t0 = net.sim().now();
+  Pcg32 rng(cfg.seed, /*stream=*/0x50A7ULL);
+  unsigned faults = 0;
+
+  FaultPlan plan = FaultPlan::random_churn(
+      net.size(), cfg.outages, t0 + 1 * kMinute,
+      t0 + cfg.duration - cfg.outage_downtime - 2 * kMinute,
+      cfg.outage_downtime, cfg.seed);
+  faults += cfg.outages;
+
+  std::vector<std::pair<NodeId, NodeId>> parent_links;
+  for (NodeId n = 1; n < static_cast<NodeId>(net.size()); ++n) {
+    const NodeId parent = net.node(n).ctp().parent();
+    if (parent != kInvalidNode) parent_links.emplace_back(n, parent);
+  }
+  for (unsigned i = 0; i < cfg.link_blackouts && !parent_links.empty(); ++i) {
+    const auto& [child, parent] = parent_links[rng.uniform(
+        static_cast<std::uint32_t>(parent_links.size()))];
+    const SimTime at = t0 + 2 * kMinute + i * (cfg.duration / 8);
+    plan.blackout_link(at, cfg.blackout_duration, child, parent);
+    ++faults;
+  }
+
+  const auto random_non_sink = [&rng, &net] {
+    return static_cast<NodeId>(
+        1 + rng.uniform(static_cast<std::uint32_t>(net.size() - 1)));
+  };
+  if (cfg.noise_burst) {
+    plan.noise_burst(t0 + cfg.duration / 2, cfg.noise_duration,
+                     {random_non_sink()}, cfg.noise_dbm);
+    ++faults;
+  }
+  if (cfg.state_loss_reboot) {
+    plan.outage_with_state_loss(t0 + cfg.duration / 3, 1 * kMinute,
+                                random_non_sink());
+    ++faults;
+  }
+  *faults_out = faults;
+  return plan;
+}
+
+bool is_tele_control(const Frame& frame) noexcept {
+  return std::holds_alternative<msg::ControlPacket>(frame.payload) ||
+         std::holds_alternative<msg::FeedbackPacket>(frame.payload);
+}
+
+void emit_arm(std::ostringstream& out, const char* key,
+              const ChurnSoakResult& r) {
+  out << "    \"" << key << "\": {\n"
+      << "      \"commands\": " << r.commands << ",\n"
+      << "      \"acked\": " << r.acked << ",\n"
+      << "      \"gave_up\": " << r.gave_up << ",\n"
+      << "      \"no_code\": " << r.no_code << ",\n"
+      << "      \"unresolved\": " << r.unresolved << ",\n"
+      << "      \"retries\": " << r.retries << ",\n"
+      << "      \"escalations\": " << r.escalations << ",\n"
+      << "      \"faults_injected\": " << r.faults_injected << ",\n"
+      << "      \"tx_per_command\": " << r.tx_per_command << ",\n"
+      << "      \"delivery_ratio\": " << r.delivery_ratio() << "\n"
+      << "    }";
+}
+
+}  // namespace
+
+ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
+  NetworkConfig net_cfg;
+  net_cfg.topology = make_connected_random(cfg.nodes, cfg.side_m, cfg.seed);
+  net_cfg.seed = cfg.seed;
+  net_cfg.protocol = ControlProtocol::kReTele;
+  Network net(net_cfg);
+
+  ControllerRetryConfig retry = cfg.retry;
+  retry.enabled = cfg.reliable;
+  Controller controller(net, retry);
+  // The controller addresses by in-band reported codes: stale after a
+  // state-loss reboot until the node reports again — the case under test.
+  controller.set_use_reported_codes(true);
+
+  ChurnSoakResult result;
+  std::set<std::uint32_t> issued;
+  std::set<std::uint32_t> delivered_seqnos;
+  controller.on_command_resolved = [&result](const CommandResolution& res) {
+    switch (res.outcome) {
+      case CommandOutcome::kAcked:
+        ++result.acked;
+        break;
+      case CommandOutcome::kGaveUp:
+        ++result.gave_up;
+        break;
+      case CommandOutcome::kNoCode:
+        ++result.no_code;
+        break;
+    }
+  };
+
+  net.start();
+  net.start_data_collection(cfg.data_ipi);
+  net.run_for(cfg.warmup);
+  TELEA_INFO("harness.soak") << "warmed up: code coverage "
+                             << net.code_coverage();
+
+  unsigned faults = 0;
+  build_fault_plan(cfg, net, &faults).apply(net);
+  result.faults_injected = faults;
+
+  // Count control-plane LPL send operations (distinct (src, link_seq)).
+  std::set<std::uint64_t> control_ops;
+  net.medium().add_transmit_hook(
+      [&control_ops](NodeId src, const Frame& frame, SimTime) {
+        if (!is_tele_control(frame)) return;
+        control_ops.insert((static_cast<std::uint64_t>(src) << 32) |
+                           frame.link_seq);
+      });
+
+  // Command loop: a random reported-code destination every interval. The
+  // controller does not know who is down — that is the robustness question.
+  Pcg32 dest_rng(cfg.seed ^ 0x50CCULL, 3);
+  const SimTime end = net.sim().now() + cfg.duration;
+  std::uint16_t command = 1;
+  while (net.sim().now() < end) {
+    net.run_for(cfg.command_interval);
+    if (net.sim().now() >= end) break;
+    std::vector<NodeId> addressable;
+    for (NodeId n = 1; n < static_cast<NodeId>(net.size()); ++n) {
+      if (controller.reported_code(n).has_value()) addressable.push_back(n);
+    }
+    if (addressable.empty()) continue;
+    const NodeId dest = addressable[dest_rng.uniform(
+        static_cast<std::uint32_t>(addressable.size()))];
+    if (const auto seq = controller.send_command(dest, command++);
+        seq.has_value()) {
+      issued.insert(*seq);
+      ++result.commands;
+    }
+  }
+
+  net.run_for(cfg.drain);
+
+  if (!cfg.reliable) {
+    // Fire-and-forget: an ack for any issued seqno is a delivery.
+    for (const std::uint32_t seq : controller.acked()) {
+      if (issued.contains(seq)) delivered_seqnos.insert(seq);
+    }
+    result.acked = static_cast<unsigned>(delivered_seqnos.size());
+  }
+  result.unresolved = static_cast<unsigned>(controller.pending_commands());
+  result.retries = controller.retries();
+  result.escalations = controller.escalations();
+  result.tx_per_command =
+      result.commands == 0
+          ? 0.0
+          : static_cast<double>(control_ops.size()) /
+                static_cast<double>(result.commands);
+  TELEA_INFO("harness.soak") << "done: " << result.acked << "/"
+                             << result.commands << " acked, "
+                             << result.retries << " retries, "
+                             << result.escalations << " escalations, "
+                             << result.gave_up << " gave up, "
+                             << result.unresolved << " unresolved";
+  return result;
+}
+
+std::string churn_soak_json(const ChurnSoakConfig& cfg,
+                            const ChurnSoakResult& with_retries,
+                            const ChurnSoakResult& without) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"name\": \"robustness_churn\",\n"
+      << "  \"config\": {\n"
+      << "    \"nodes\": " << cfg.nodes << ",\n"
+      << "    \"seed\": " << cfg.seed << ",\n"
+      << "    \"warmup_s\": " << to_seconds(cfg.warmup) << ",\n"
+      << "    \"duration_s\": " << to_seconds(cfg.duration) << ",\n"
+      << "    \"outages\": " << cfg.outages << ",\n"
+      << "    \"link_blackouts\": " << cfg.link_blackouts << ",\n"
+      << "    \"noise_burst\": " << (cfg.noise_burst ? "true" : "false")
+      << ",\n"
+      << "    \"state_loss_reboot\": "
+      << (cfg.state_loss_reboot ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"results\": {\n";
+  emit_arm(out, "with_retries", with_retries);
+  out << ",\n";
+  emit_arm(out, "without_retries", without);
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+bool write_churn_soak_json(const std::string& path, const ChurnSoakConfig& cfg,
+                           const ChurnSoakResult& with_retries,
+                           const ChurnSoakResult& without) {
+  std::ofstream out(path);
+  if (!out) {
+    TELEA_WARN("harness.soak") << "cannot write " << path;
+    return false;
+  }
+  out << churn_soak_json(cfg, with_retries, without);
+  return static_cast<bool>(out);
+}
+
+}  // namespace telea

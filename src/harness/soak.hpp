@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/controller.hpp"
+#include "harness/network.hpp"
+
+namespace telea {
+
+/// A randomized robustness soak: a connected random deployment running
+/// collection traffic while the controller issues periodic commands, under a
+/// mixed fault schedule (node churn, parent-link blackouts, a noise burst,
+/// one state-losing reboot) built *after* warm-up from the live CTP tree —
+/// so the blackouts sever links the routing actually uses.
+struct ChurnSoakConfig {
+  std::size_t nodes = 24;
+  double side_m = 90.0;
+  std::uint64_t seed = 1;
+
+  SimTime warmup = 12 * kMinute;
+  SimTime duration = 30 * kMinute;   // command/fault window after warm-up
+  SimTime drain = 6 * kMinute;       // long enough for the slowest lifecycle
+  SimTime command_interval = 30 * kSecond;
+  SimTime data_ipi = 1 * kMinute;
+
+  /// Reliable delivery on/off — the soak's A/B knob. With false the
+  /// controller is fire-and-forget (the seed repo's behavior).
+  bool reliable = true;
+  ControllerRetryConfig retry{};
+
+  // --- fault mix ------------------------------------------------------------
+  unsigned outages = 6;
+  SimTime outage_downtime = 2 * kMinute;
+  unsigned link_blackouts = 3;
+  SimTime blackout_duration = 4 * kMinute;
+  bool noise_burst = true;
+  double noise_dbm = -75.0;
+  SimTime noise_duration = 90 * kSecond;
+  bool state_loss_reboot = true;
+};
+
+struct ChurnSoakResult {
+  unsigned commands = 0;     // commands issued (addressable destinations)
+  unsigned acked = 0;        // e2e-acknowledged (resolved or raw acks)
+  unsigned gave_up = 0;      // reliable mode: budget exhausted
+  unsigned no_code = 0;      // issue attempts rejected for lack of a code
+  unsigned unresolved = 0;   // still pending when the run ended
+  std::uint64_t retries = 0;
+  std::uint64_t escalations = 0;
+  unsigned faults_injected = 0;  // logical faults (an outage counts once)
+  double tx_per_command = 0.0;   // control-plane LPL send ops / command
+
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return commands == 0
+               ? 0.0
+               : static_cast<double>(acked) / static_cast<double>(commands);
+  }
+};
+
+/// Runs one soak end to end. Deterministic in `cfg` (including cfg.seed).
+[[nodiscard]] ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg);
+
+/// The robustness_churn artifact: one JSON object comparing the reliable and
+/// fire-and-forget arms of the same scenario. Parseable by JsonValue::parse.
+[[nodiscard]] std::string churn_soak_json(const ChurnSoakConfig& cfg,
+                                          const ChurnSoakResult& with_retries,
+                                          const ChurnSoakResult& without);
+
+/// Writes churn_soak_json to `path`. Returns false on I/O failure.
+bool write_churn_soak_json(const std::string& path, const ChurnSoakConfig& cfg,
+                           const ChurnSoakResult& with_retries,
+                           const ChurnSoakResult& without);
+
+}  // namespace telea

@@ -256,6 +256,24 @@ void CtpNode::on_forward_done(const SendResult& result) {
   forward_next();
 }
 
+void CtpNode::reset_routing() {
+  if (!is_root_) {
+    parent_ = kInvalidNode;
+    path_etx10_ = 0xFFFF;
+    hops_ = 0xFF;
+  }
+  route_announced_ = false;
+  routes_.clear();
+  forward_queue_.clear();
+  forwarding_ = false;
+  forwarding_to_ = kInvalidNode;
+  front_attempts_ = 0;
+  consecutive_failures_ = 0;
+  seen_.clear();
+  estimator_->clear();
+  beacon_timer_.reset();  // beacon at Imin: announce the cold boot promptly
+}
+
 void CtpNode::report_parent_trouble() {
   if (is_root_ || parent_ == kInvalidNode) return;
   // Parent looks dead or one-way: drop it and force reselection + pull.

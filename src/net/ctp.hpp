@@ -143,6 +143,12 @@ class CtpNode {
   /// failures would.
   void report_parent_trouble();
 
+  /// Wipes all routing state (parent, neighbor routes, queues, dedup cache)
+  /// back to cold boot — a reboot that loses RAM. Resets the beacon timer to
+  /// Imin for fast reconvergence and re-arms the one-shot route-found
+  /// announcement so downstream planes (path-code addressing) rebuild too.
+  void reset_routing();
+
  private:
   struct RouteEntry {
     NodeId id;

@@ -45,6 +45,10 @@ class LinkEstimator {
   /// Drops a neighbor (e.g. proven dead).
   void evict(NodeId neighbor);
 
+  /// Drops every estimate — a reboot that loses RAM state starts from an
+  /// empty table and re-learns links from scratch.
+  void clear() { table_.clear(); }
+
  private:
   struct Entry {
     NodeId id = kInvalidNode;

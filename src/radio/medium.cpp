@@ -36,6 +36,46 @@ void RadioMedium::attach(NodeId id, MediumListener& listener) {
   nodes_[id].listener = &listener;
 }
 
+double RadioMedium::effective_loss_db(NodeId tx, NodeId rx) const {
+  double loss = gains_->loss_db(tx, rx);
+  if (!link_offsets_.empty()) {
+    const auto it = link_offsets_.find(link_key(tx, rx));
+    if (it != link_offsets_.end()) loss += it->second;
+  }
+  return loss;
+}
+
+double RadioMedium::rssi_dbm(NodeId tx, NodeId rx) const {
+  double rssi = gains_->rssi_dbm(tx, rx, config_.tx_power_dbm);
+  if (!link_offsets_.empty()) {
+    const auto it = link_offsets_.find(link_key(tx, rx));
+    if (it != link_offsets_.end()) rssi -= it->second;
+  }
+  return rssi;
+}
+
+void RadioMedium::add_link_loss_db(NodeId a, NodeId b, double extra_db) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) return;
+  const double offset = (link_offsets_[link_key(a, b)] += extra_db);
+  // Drop neutralized entries so the hot-path empty() check recovers.
+  if (offset > -1e-9 && offset < 1e-9) link_offsets_.erase(link_key(a, b));
+}
+
+double RadioMedium::link_loss_offset_db(NodeId a, NodeId b) const {
+  const auto it = link_offsets_.find(link_key(a, b));
+  return it == link_offsets_.end() ? 0.0 : it->second;
+}
+
+void RadioMedium::set_extra_noise_dbm(NodeId id, double dbm) {
+  if (id >= nodes_.size()) return;
+  if (extra_noise_mw_.empty()) extra_noise_mw_.assign(nodes_.size(), 0.0);
+  extra_noise_mw_[id] = dbm_to_mw(dbm);
+}
+
+void RadioMedium::clear_extra_noise(NodeId id) {
+  if (id < extra_noise_mw_.size()) extra_noise_mw_[id] = 0.0;
+}
+
 void RadioMedium::set_listening(NodeId id, bool listening) {
   NodeState& st = nodes_[id];
   if (st.listening == listening) return;
@@ -76,6 +116,12 @@ void RadioMedium::transmit(NodeId src, Frame frame) {
   for (NodeId nb : gains_->neighbors_within(src)) {
     NodeState& rx = nodes_[nb];
     if (!rx.listening || rx.txing || rx.locked_tx != 0) continue;
+    // An injected link fault can push a statically-in-range link below the
+    // cutoff: such a receiver never even locks onto the preamble.
+    if (!link_offsets_.empty() &&
+        effective_loss_db(src, nb) > config_.max_loss_db) {
+      continue;
+    }
     rx.locked_tx = id;
     rx.lock_start = start;
   }
@@ -103,8 +149,7 @@ double RadioMedium::interference_mw(NodeId rx, std::uint64_t tx_id,
     if (ov_end <= ov_start) continue;
     const double frac =
         static_cast<double>(ov_end - ov_start) / duration;
-    mw += dbm_to_mw(gains_->rssi_dbm(other.src, rx, config_.tx_power_dbm)) *
-          frac;
+    mw += dbm_to_mw(rssi_dbm(other.src, rx)) * frac;
   }
   return mw;
 }
@@ -128,9 +173,9 @@ void RadioMedium::finish_tx(std::uint64_t tx_id) {
     rx.locked_tx = 0;
     const auto rx_id = static_cast<NodeId>(i);
 
-    const double signal_dbm =
-        gains_->rssi_dbm(tx->src, rx_id, config_.tx_power_dbm);
-    double noise_mw = dbm_to_mw(noise_[i].noise_dbm(now));
+    const double signal_dbm = rssi_dbm(tx->src, rx_id);
+    double noise_mw = dbm_to_mw(noise_[i].noise_dbm(now)) +
+                      extra_noise_mw(rx_id);
     if (interferer_ != nullptr) {
       noise_mw += dbm_to_mw(interferer_->power_at(rx_id, now));
     }
@@ -147,8 +192,7 @@ void RadioMedium::finish_tx(std::uint64_t tx_id) {
     const AckDecision decision =
         rx.listener->on_frame(tx->frame, signal_dbm);
     if (decision == AckDecision::kAcceptAndAck) {
-      ackers.push_back(Acker{
-          rx_id, gains_->rssi_dbm(rx_id, tx->src, config_.tx_power_dbm)});
+      ackers.push_back(Acker{rx_id, rssi_dbm(rx_id, tx->src)});
     }
   }
 
@@ -174,7 +218,8 @@ void RadioMedium::finish_tx(std::uint64_t tx_id) {
     for (const auto& a : ackers) {
       if (a.id != strongest->id) others_mw += dbm_to_mw(a.rssi_at_src_dbm);
     }
-    double floor_mw = dbm_to_mw(noise_[src].noise_dbm(now));
+    double floor_mw = dbm_to_mw(noise_[src].noise_dbm(now)) +
+                      extra_noise_mw(src);
     if (interferer_ != nullptr) {
       floor_mw += dbm_to_mw(interferer_->power_at(src, now));
     }
@@ -214,7 +259,8 @@ void RadioMedium::prune_history() {
 }
 
 double RadioMedium::noise_dbm(NodeId id) {
-  double mw = dbm_to_mw(noise_[id].noise_dbm(sim_->now()));
+  double mw = dbm_to_mw(noise_[id].noise_dbm(sim_->now())) +
+              extra_noise_mw(id);
   if (interferer_ != nullptr) {
     mw += dbm_to_mw(interferer_->power_at(id, sim_->now()));
   }
@@ -225,7 +271,7 @@ double RadioMedium::channel_energy_dbm(NodeId id) {
   double mw = dbm_to_mw(noise_dbm(id));
   for (const auto& tx : txs_) {
     if (tx.done || tx.src == id) continue;
-    mw += dbm_to_mw(gains_->rssi_dbm(tx.src, id, config_.tx_power_dbm));
+    mw += dbm_to_mw(rssi_dbm(tx.src, id));
   }
   return mw_to_dbm(mw);
 }

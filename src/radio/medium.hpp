@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "radio/interferer.hpp"
@@ -125,6 +126,30 @@ class RadioMedium {
     return total_transmissions_;
   }
 
+  // --- fault injection (harness) -------------------------------------------
+  /// Attenuation guaranteed to put any link below the reception cutoff —
+  /// `add_link_loss_db(a, b, kBlackoutLossDb)` severs a link outright.
+  static constexpr double kBlackoutLossDb = 500.0;
+
+  /// Adds `extra_db` of attenuation on the (symmetric) link a<->b, on top of
+  /// the static gain table. Offsets from multiple causes accumulate; pass a
+  /// negative value to undo an earlier degradation. A link whose effective
+  /// loss exceeds the neighbor cutoff stops locking receivers entirely.
+  void add_link_loss_db(NodeId a, NodeId b, double extra_db);
+
+  /// Current injected offset on a<->b (0 when unperturbed).
+  [[nodiscard]] double link_loss_offset_db(NodeId a, NodeId b) const;
+
+  /// Removes every injected link offset.
+  void clear_link_faults() { link_offsets_.clear(); }
+
+  /// Injects a constant noise source of `dbm` at `id`'s receiver (a jammer /
+  /// co-located appliance); raises its noise floor for receptions, ack
+  /// decoding and CCA alike.
+  void set_extra_noise_dbm(NodeId id, double dbm);
+  /// Removes the injected noise source at `id`.
+  void clear_extra_noise(NodeId id);
+
   [[nodiscard]] const LinkGainTable& gains() const noexcept { return *gains_; }
   [[nodiscard]] double tx_power_dbm() const noexcept {
     return config_.tx_power_dbm;
@@ -152,6 +177,20 @@ class RadioMedium {
   [[nodiscard]] ActiveTx* find_tx(std::uint64_t id);
   void prune_history();
 
+  /// Received power tx->rx including injected link offsets.
+  [[nodiscard]] double rssi_dbm(NodeId tx, NodeId rx) const;
+  /// Static table loss plus injected offsets (the neighbor-cutoff test).
+  [[nodiscard]] double effective_loss_db(NodeId tx, NodeId rx) const;
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) noexcept {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (hi << 32) | lo;
+  }
+  /// Injected noise at `id` in mW (0 when none).
+  [[nodiscard]] double extra_noise_mw(NodeId id) const noexcept {
+    return id < extra_noise_mw_.size() ? extra_noise_mw_[id] : 0.0;
+  }
+
   /// Mean interference power (mW) at `rx` over [start,end), excluding tx_id.
   [[nodiscard]] double interference_mw(NodeId rx, std::uint64_t tx_id,
                                        SimTime start, SimTime end);
@@ -167,6 +206,10 @@ class RadioMedium {
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t total_transmissions_ = 0;
   std::vector<TransmitHook> transmit_hooks_;
+  // Fault-injection state: sparse so the unperturbed hot path stays a single
+  // empty() check per RSSI read.
+  std::unordered_map<std::uint64_t, double> link_offsets_;
+  std::vector<double> extra_noise_mw_;  // per node, 0 = no injected source
 };
 
 }  // namespace telea

@@ -20,6 +20,11 @@ const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kBacktrack: return "backtrack";
     case TraceEvent::kRedirect: return "redirect";
     case TraceEvent::kAckPath: return "ack_path";
+    case TraceEvent::kCommandRetry: return "command_retry";
+    case TraceEvent::kCommandResolve: return "command_resolve";
+    case TraceEvent::kLinkFault: return "link_fault";
+    case TraceEvent::kNoiseBurst: return "noise_burst";
+    case TraceEvent::kReboot: return "reboot";
   }
   return "?";
 }
@@ -32,12 +37,15 @@ const char* trace_reason_name(TraceReason r) noexcept {
     case TraceReason::kNeighborPrefix: return "neighbor_prefix";
     case TraceReason::kRetryExhausted: return "retry_exhausted";
     case TraceReason::kNeighborUnreachable: return "neighbor_unreachable";
+    case TraceReason::kAckTimeout: return "ack_timeout";
+    case TraceReason::kEscalated: return "escalated";
+    case TraceReason::kBudgetExhausted: return "budget_exhausted";
   }
   return "?";
 }
 
 std::optional<TraceEvent> trace_event_from_name(std::string_view name) noexcept {
-  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(TraceEvent::kAckPath);
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(TraceEvent::kReboot);
        ++i) {
     const auto e = static_cast<TraceEvent>(i);
     if (name == trace_event_name(e)) return e;
@@ -48,7 +56,7 @@ std::optional<TraceEvent> trace_event_from_name(std::string_view name) noexcept 
 std::optional<TraceReason> trace_reason_from_name(
     std::string_view name) noexcept {
   for (std::uint8_t i = 0;
-       i <= static_cast<std::uint8_t>(TraceReason::kNeighborUnreachable); ++i) {
+       i <= static_cast<std::uint8_t>(TraceReason::kBudgetExhausted); ++i) {
     const auto r = static_cast<TraceReason>(i);
     if (name == trace_reason_name(r)) return r;
   }

@@ -35,6 +35,12 @@ enum class TraceEvent : std::uint8_t {
   kBacktrack,        // node hands the task back upstream; b = upstream node
   kRedirect,         // Re-Tele detour around a dead region; b = detour relay
   kAckPath,          // delivery ack hop toward the controller; b = next hop
+  kCommandRetry,     // controller re-sends an unacked command; b = destination
+  kCommandResolve,   // controller closes a command's lifecycle; b = destination
+  kLinkFault,        // injected link perturbation; a = |extra loss| in dB,
+                     // b = the other endpoint (node = this endpoint)
+  kNoiseBurst,       // injected channel noise at this node; a = |dBm| level
+  kReboot,           // node rebooted with all protocol state wiped
 };
 
 /// Why a decision event fired. kNone for events that carry no reason.
@@ -45,6 +51,9 @@ enum class TraceReason : std::uint8_t {
   kNeighborPrefix,       // claim condition 3: a neighbor's code can progress
   kRetryExhausted,       // gave up after the retransmission budget
   kNeighborUnreachable,  // no live candidate neighbor to hand the task to
+  kAckTimeout,           // controller: no e2e ack within the timeout window
+  kEscalated,            // controller: retry went through the Re-Tele detour
+  kBudgetExhausted,      // controller: retry budget spent, command abandoned
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEvent e) noexcept;

@@ -1,0 +1,57 @@
+// The robustness acceptance soak (labeled "soak" in ctest): one randomized
+// churn + link-fault scenario run twice — with the controller's
+// retry/backoff/escalation machinery and fire-and-forget — asserting that
+// reliability recovers >= 95% of commands while the seed behavior loses
+// more, and exporting the comparison as bench_results/robustness_churn.json.
+#include "harness/soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace telea {
+namespace {
+
+TEST(ChurnSoak, RetriesDeliverAtLeast95PercentAndBeatFireAndForget) {
+  ChurnSoakConfig cfg;
+  cfg.nodes = 20;
+  cfg.side_m = 80.0;
+  cfg.seed = 3;
+  // Harsher than the bench defaults so the with/without gap is decisive:
+  // more outages, each long enough to straddle several command intervals.
+  cfg.outages = 8;
+  cfg.outage_downtime = 4 * kMinute;
+  cfg.blackout_duration = 6 * kMinute;
+
+  const ChurnSoakResult with_retries = run_churn_soak(cfg);
+
+  ChurnSoakConfig fire_and_forget = cfg;
+  fire_and_forget.reliable = false;
+  const ChurnSoakResult without = run_churn_soak(fire_and_forget);
+
+  // The scenario must actually be hostile: >= 10 mixed faults (node
+  // outages, parent-link blackouts, a noise burst, a state-loss reboot)
+  // and a meaningful command load.
+  EXPECT_GE(with_retries.faults_injected, 10u);
+  EXPECT_GE(with_retries.commands, 20u);
+  EXPECT_EQ(with_retries.unresolved, 0u);
+
+  EXPECT_GE(with_retries.delivery_ratio(), 0.95)
+      << with_retries.acked << "/" << with_retries.commands << " acked, "
+      << with_retries.gave_up << " gave up";
+  EXPECT_LT(without.delivery_ratio(), with_retries.delivery_ratio())
+      << "fire-and-forget delivered " << without.acked << "/"
+      << without.commands
+      << " — expected strictly less than the reliable controller";
+
+  const char* dir = std::getenv("TELEA_RESULTS_DIR");
+  const std::filesystem::path out_dir = dir != nullptr ? dir : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  EXPECT_TRUE(write_churn_soak_json((out_dir / "robustness_churn.json").string(),
+                                    cfg, with_retries, without));
+}
+
+}  // namespace
+}  // namespace telea

@@ -1,0 +1,94 @@
+// Forwarding-plane exhaustion behavior under a killed-relay fault plan:
+// the max_backtracks budget must bound feedback ping-pong, and stale
+// unreachable marks must expire via unreachable_timeout even when the dead
+// neighbor's own beacons never return (satellite of the robustness PR).
+#include <gtest/gtest.h>
+
+#include "harness/controller.hpp"
+#include "harness/faults.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig line5_cfg(std::uint64_t seed) {
+  NetworkConfig c;
+  c.topology = make_line(5, 22.0);
+  c.seed = seed;
+  c.protocol = ControlProtocol::kTele;  // no Re-Tele: pure backtracking
+  return c;
+}
+
+TEST(RelayFaults, MaxBacktracksBoundsFeedbackRoundsAndFailsCleanly) {
+  NetworkConfig c = line5_cfg(21);
+  c.tele.forwarding.max_backtracks = 1;
+  Network net(c);
+  net.start();
+  net.run_for(6_min);
+  ASSERT_TRUE(net.node(4).tele()->addressing().has_code());
+
+  FaultPlan plan;
+  plan.kill_at(net.sim().now() + 1_s, 3);  // the relay in front of node 4
+  plan.apply(net);
+  net.run_for(5_s);
+
+  bool failed = false;
+  net.sink().tele()->on_delivery_failed = [&failed](std::uint32_t) {
+    failed = true;
+  };
+  const auto seq = net.sink().tele()->send_control(
+      4, net.node(4).tele()->addressing().code(), 0x99);
+  ASSERT_TRUE(seq.has_value());
+  net.run_for(3_min);
+
+  // The origin must learn of the failure (no silent loss)...
+  EXPECT_TRUE(failed);
+  EXPECT_GE(net.sink().tele()->forwarding().stats().origin_failures, 1u);
+  // ...and no relay may exceed its per-packet feedback budget. One control
+  // packet was injected, so per-node cumulative backtracks are per-packet
+  // rounds here (origin retries re-run the forward path, not the budget).
+  for (NodeId n = 0; n < static_cast<NodeId>(net.size()); ++n) {
+    const auto& stats = net.node(n).tele()->forwarding().stats();
+    EXPECT_LE(stats.backtracks,
+              static_cast<std::uint64_t>(c.tele.forwarding.max_backtracks) *
+                  (1 + c.tele.forwarding.origin_retries))
+        << "node " << n << " exceeded its backtrack budget";
+  }
+}
+
+TEST(RelayFaults, UnreachableMarksExpireWithoutTheDeadNeighborsBeacon) {
+  NetworkConfig c = line5_cfg(22);
+  c.tele.forwarding.unreachable_timeout = 15_s;
+  Network net(c);
+  net.start();
+  net.run_for(6_min);
+  ASSERT_TRUE(net.node(4).tele()->addressing().has_code());
+
+  FaultPlan plan;
+  plan.kill_at(net.sim().now() + 1_s, 3);
+  plan.apply(net);
+  net.run_for(5_s);
+
+  const auto seq = net.sink().tele()->send_control(
+      4, net.node(4).tele()->addressing().code(), 0x9A);
+  ASSERT_TRUE(seq.has_value());
+  net.run_for(1_min);
+
+  // Node 2 tried to hand the packet to its dead downstream relay and marked
+  // it unreachable.
+  auto& neighbors = net.node(2).tele()->addressing().neighbors();
+  ASSERT_TRUE(neighbors.is_unreachable(3));
+
+  // Node 3 stays dead, so its own beacons can never clear the mark. Any
+  // *other* neighbor's beacon triggers the expiry sweep once the timeout
+  // has passed (the safety valve of Sec. III-C3).
+  net.run_for(30_s);  // > unreachable_timeout since the mark was set
+  net.node(1).ctp().send_beacon(false);
+  net.run_for(5_s);
+  EXPECT_FALSE(neighbors.is_unreachable(3));
+}
+
+}  // namespace
+}  // namespace telea
