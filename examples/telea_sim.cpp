@@ -26,6 +26,10 @@
 //                       (feed it to telea_explain to reconstruct packets)
 //   metrics=DIR         write metrics.prom + metrics.json into DIR
 //   profile=false       collect + print simulator self-profiling stats
+//   invariants=false    runtime protocol invariant checkpoints; prints a
+//                       summary and exits 3 on any violation (rule catalog:
+//                       docs/STATIC_ANALYSIS.md)
+//   failfast=false      with invariants=true: abort at the first violation
 //   log=warn            trace | debug | info | warn | error | off
 //
 // Fault injection (all applied after warm-up, see docs/ROBUSTNESS.md):
@@ -36,6 +40,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <system_error>
 
@@ -157,6 +162,8 @@ int main(int argc, char** argv) {
   const std::string trace_path = cfg.get_string("trace");
   const std::string metrics_dir = cfg.get_string("metrics");
   const bool profile = cfg.get_bool("profile", false);
+  const bool invariants = cfg.get_bool("invariants", false);
+  const bool failfast = cfg.get_bool("failfast", false);
   const auto churn = static_cast<std::size_t>(cfg.get_int("churn", 0));
   const auto downtime =
       static_cast<SimTime>(cfg.get_int("downtime", 120)) * kSecond;
@@ -164,14 +171,19 @@ int main(int argc, char** argv) {
   const int reboot_node = static_cast<int>(cfg.get_int("reboot", -1));
   const SimTime duration = experiment.duration;
 
-  experiment.on_warmed_up = [dot_path, trace_path, profile, churn, downtime,
-                             noise_dbm, reboot_node, duration,
-                             seed](Network& net) {
+  experiment.on_warmed_up = [dot_path, trace_path, profile, invariants,
+                             failfast, churn, downtime, noise_dbm, reboot_node,
+                             duration, seed](Network& net) {
     if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
       TELEA_WARN("telea_sim") << "could not write " << dot_path;
     }
     if (!trace_path.empty()) net.enable_tracing();
     if (profile) net.sim().set_profiling(true);
+    if (invariants) {
+      InvariantConfig icfg;
+      icfg.fail_fast = failfast;
+      net.enable_invariants(icfg);
+    }
 
     // Fault plan over the measurement window (docs/ROBUSTNESS.md).
     const SimTime t0 = net.sim().now();
@@ -203,7 +215,21 @@ int main(int argc, char** argv) {
       plan.apply(net);
     }
   };
-  experiment.on_finished = [trace_path, metrics_dir, profile](Network& net) {
+  const auto invariant_violations = std::make_shared<std::uint64_t>(0);
+  experiment.on_finished = [trace_path, metrics_dir, profile,
+                            invariant_violations](Network& net) {
+    if (InvariantEngine* inv = net.invariants()) {
+      inv->final_audit();
+      *invariant_violations = inv->violations().size();
+      std::printf("invariants: %llu checkpoints, %llu claims audited, "
+                  "%zu violations\n",
+                  static_cast<unsigned long long>(inv->checkpoints_run()),
+                  static_cast<unsigned long long>(inv->claims_audited()),
+                  inv->violations().size());
+      if (!inv->violations().empty()) {
+        std::printf("%s", inv->render_report().c_str());
+      }
+    }
     if (!trace_path.empty()) {
       if (net.tracer()->write_jsonl(trace_path)) {
         std::printf("trace: %zu records -> %s (%llu dropped)\n",
@@ -264,5 +290,10 @@ int main(int argc, char** argv) {
                 csv_dir, "sim_latency");
   print_grouped("accumulated tx hops by receiver hop count:", r.athx_by_hop,
                 false, csv_dir, "sim_athx");
+  if (*invariant_violations > 0) {
+    std::fprintf(stderr, "telea_sim: %llu invariant violations\n",
+                 static_cast<unsigned long long>(*invariant_violations));
+    return 3;
+  }
   return 0;
 }

@@ -1,27 +1,45 @@
 #!/usr/bin/env bash
-# Builds the project and runs the tier-1 test suite twice: once in the
-# default configuration and once instrumented with ASan + UBSan
-# (-DTELEA_SANITIZE=address;undefined). Usage:
+# The repo's one verification entry point — CI runs this same script
+# (.github/workflows/ci.yml), so a green local run means a green CI run.
 #
-#   scripts/check.sh              # both passes
-#   scripts/check.sh --fast       # default pass only
-#   scripts/check.sh --san-only   # sanitizer pass only
+# Build/test matrix:
+#
+#   stage     build dir      config                               tests run
+#   -------   ------------   ----------------------------------   --------------
+#   plain     build/         default                              tier-1, soak excluded
+#   static    build/         telea_lint + clang-tidy + cppcheck   (source analysis only)
+#   asan      build-asan/    -DTELEA_SANITIZE=address;undefined   tier-1 + one soak pass
+#   thread    build-tsan/    -DTELEA_SANITIZE=thread              tier-1, soak excluded
+#
+# Why each stage: the soaks run once under ASan/UBSan because their fault-plan
+# churn covers the most lifecycle/teardown code per wall-clock second. The
+# simulator is single-threaded by design, so TSan exists to prove nothing grew
+# a thread — the fast suite is enough signal there. The static stage always
+# runs tools/telea_lint (built from this tree); clang-tidy and cppcheck run
+# only when installed (CI installs them; a bare container skips with a notice).
+#
+# Usage:
+#   scripts/check.sh              # plain + asan + thread + static
+#   scripts/check.sh --fast       # plain + static only
+#   scripts/check.sh --san-only   # asan + thread only
+#   scripts/check.sh --static     # static analysis only
 #
 # Long randomized soaks (ctest label "soak") are excluded from the fast
-# default pass and run once under the sanitizers, where their fault-plan
-# churn covers the most lifecycle/teardown code per wall-clock second.
-# Plain `ctest` still runs everything. Any bench_results/*.json the test
-# runs produce must parse (tools/json_lint) or the check fails.
+# default pass and run once under ASan/UBSan. Plain `ctest` still runs
+# everything. Any bench_results/*.json the test runs produce must parse
+# (tools/json_lint) or the check fails.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 run_plain=1
 run_san=1
+run_static=1
 for arg in "$@"; do
   case "$arg" in
     --fast) run_san=0 ;;
-    --san-only) run_plain=0 ;;
+    --san-only) run_plain=0; run_static=0 ;;
+    --static) run_plain=0; run_san=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -48,9 +66,57 @@ lint_results() {
   fi
 }
 
+static_stage() {
+  echo "== static analysis (docs/STATIC_ANALYSIS.md) =="
+  # telea_lint needs only its own two sources; build just that target.
+  cmake -S "$repo" -B "$repo/build" >/dev/null
+  cmake --build "$repo/build" -j "$jobs" --target telea_lint
+  "$repo/build/tools/telea_lint" --root "$repo"
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # Changed files against the merge base when on a branch, else the full
+    # src/ tree. clang-tidy reads .clang-tidy at the repo root.
+    local files=()
+    local base
+    base="$(git -C "$repo" merge-base HEAD origin/main 2>/dev/null ||
+            git -C "$repo" merge-base HEAD main 2>/dev/null || true)"
+    if [ -n "$base" ] && [ "$base" != "$(git -C "$repo" rev-parse HEAD)" ]; then
+      while IFS= read -r f; do
+        case "$f" in
+          src/*.cpp|tools/*.cpp|examples/*.cpp) files+=("$repo/$f") ;;
+        esac
+      done < <(git -C "$repo" diff --name-only --diff-filter=d "$base")
+    else
+      while IFS= read -r f; do files+=("$f"); done \
+        < <(find "$repo/src" -name '*.cpp')
+    fi
+    if [ "${#files[@]}" -gt 0 ]; then
+      echo "-- clang-tidy (${#files[@]} files)"
+      clang-tidy -p "$repo/build" --quiet "${files[@]}"
+    fi
+  else
+    echo "-- clang-tidy skipped (not installed)"
+  fi
+
+  if command -v cppcheck >/dev/null 2>&1; then
+    echo "-- cppcheck"
+    cppcheck --error-exitcode=1 --inline-suppr --std=c++20 \
+      --enable=warning,portability \
+      --suppressions-list="$repo/.cppcheck-suppressions" \
+      -I "$repo/src" -I "$repo/tools" \
+      "$repo/src" "$repo/tools"
+  else
+    echo "-- cppcheck skipped (not installed)"
+  fi
+}
+
 if [ "$run_plain" = 1 ]; then
   echo "== default build + tests (soak excluded) =="
   build_and_test "$repo/build" ""
+fi
+
+if [ "$run_static" = 1 ]; then
+  static_stage
 fi
 
 if [ "$run_san" = 1 ]; then
@@ -58,6 +124,10 @@ if [ "$run_san" = 1 ]; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   build_and_test "$repo/build-asan" "soak" "-DTELEA_SANITIZE=address;undefined"
+
+  echo "== TSan build + tests (fast label) =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  build_and_test "$repo/build-tsan" "" "-DTELEA_SANITIZE=thread"
 fi
 
 echo "all checks passed"

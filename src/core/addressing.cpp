@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/field.hpp"
 #include "util/logging.hpp"
 
 namespace telea {
@@ -425,8 +426,29 @@ void Addressing::fill_beacon(msg::CtpBeacon& beacon) {
   if (have_position_ && ctp_->parent() != kInvalidNode) {
     beacon.has_position_claim = true;
     beacon.claimed_position = position_;
-    beacon.claimed_code_len = static_cast<std::uint8_t>(code_.size());
+    beacon.claimed_code_len = field::u8(std::min<std::size_t>(code_.size(), 0xFF));
   }
+}
+
+bool Addressing::corrupt_code_bit(std::size_t bit) {
+  if (code_.empty()) return false;
+  const std::size_t i = bit % code_.size();
+  code_.set_bit(i, !code_.bit(i));
+  // Deliberately silent: no on_code_changed, no beacon, no table rederive.
+  return true;
+}
+
+bool Addressing::corrupt_child_position(std::size_t slot,
+                                        std::uint32_t position) {
+  if (child_table_.size() == 0) return false;
+  const NodeId child = child_table_.entries()[slot % child_table_.size()].child;
+  ChildTable::Entry* entry = child_table_.find(child);
+  if (entry == nullptr) return false;
+  // The stored derived code is left stale on purpose, so the table no longer
+  // agrees with its own position field — exactly the inconsistency the
+  // parent-prefix invariant detects.
+  entry->position = position;
+  return true;
 }
 
 }  // namespace telea

@@ -103,6 +103,21 @@ class Addressing final : public BeaconPiggyback {
   /// tree* (may lag the live CTP parent; Fig. 6(d) compares the two trees).
   [[nodiscard]] NodeId code_parent() const noexcept { return code_parent_; }
 
+  [[nodiscard]] const AddressingConfig& config() const noexcept {
+    return config_;
+  }
+
+  // --- fault injection (tests / FaultPlan only) ----------------------------
+  /// Flips bit `bit` of this node's own code (modulo its length) without any
+  /// beacon or table update — the silent memory corruption the invariant
+  /// engine exists to catch. No-op while codeless. Returns true if flipped.
+  bool corrupt_code_bit(std::size_t bit);
+
+  /// Rewrites the allocated position of child table slot `slot` (modulo the
+  /// table size) to `position`, clobbering the derived code — forges a
+  /// sibling-position collision or a prefix break. Returns true if applied.
+  bool corrupt_child_position(std::size_t slot, std::uint32_t position);
+
   /// Invoked whenever this node's own code changes (forwarding cares).
   std::function<void()> on_code_changed;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/field.hpp"
 #include "util/logging.hpp"
 
 namespace telea {
@@ -151,8 +152,7 @@ AckDecision Forwarding::handle_control(NodeId from,
       st.delivered_here = true;
       st.done = true;
       msg::ControlPacket arrived = packet;
-      arrived.hops_so_far =
-          static_cast<std::uint8_t>(packet.hops_so_far + 1);
+      arrived.hops_so_far = field::u8(packet.hops_so_far + 1);
       deliver(arrived, direct);
     }
     return AckDecision::kAcceptAndAck;
@@ -225,6 +225,9 @@ AckDecision Forwarding::handle_control(NodeId from,
   }
   TELEA_TRACE_EVENT(tracer_, sim_->now(), me, TraceEvent::kForwardDecision,
                     packet.seqno, from, claim_reason);
+  if (auditor_ != nullptr) {
+    auditor_->on_claim(me, packet, claim_reason, /*rescue=*/false);
+  }
   claim(from, packet);
   return AckDecision::kAcceptAndAck;
 }
@@ -232,8 +235,7 @@ AckDecision Forwarding::handle_control(NodeId from,
 void Forwarding::claim(NodeId from, const msg::ControlPacket& packet) {
   PacketState& st = states_[packet.seqno];
   st.packet = packet;
-  st.packet.hops_so_far =
-      static_cast<std::uint8_t>(packet.hops_so_far + 1);
+  st.packet.hops_so_far = field::u8(packet.hops_so_far + 1);
   st.holding = true;
   st.done = false;
   // Every caller gates claims on the finished latch; reaching here means the
@@ -248,8 +250,8 @@ void Forwarding::claim(NodeId from, const msg::ControlPacket& packet) {
   // Until we transmit, our suppression threshold is the progress any forward
   // of ours would guarantee (floor+1) — otherwise an overheard *regressed*
   // copy would cancel a fresher claim.
-  st.last_sent_expected_len = static_cast<std::uint8_t>(
-      std::min<std::size_t>(st.floor + 1, 0xFF));
+  st.last_sent_expected_len =
+      field::u8(std::min<std::size_t>(st.floor + 1, 0xFF));
   st.dup_acks = 0;
   st.defer_deadline = sim_->now() + config_.claim_defer;
   ++stats_.claims;
@@ -304,6 +306,9 @@ void Forwarding::note_duplicate(NodeId from, const msg::ControlPacket& packet) {
 
 void Forwarding::deliver(const msg::ControlPacket& packet, bool direct) {
   ++stats_.deliveries;
+  if (auditor_ != nullptr) {
+    auditor_->on_final_delivery(mac_->id(), packet, direct);
+  }
   if (on_delivered) on_delivered(packet, direct);
 }
 
@@ -346,8 +351,7 @@ void Forwarding::forward(std::uint32_t seqno) {
     return;
   }
   packet.expected_relay = candidate->id;
-  packet.expected_relay_code_len =
-      static_cast<std::uint8_t>(candidate->code_len);
+  packet.expected_relay_code_len = field::u8(candidate->code_len);
   st.last_sent_expected_len = packet.expected_relay_code_len;
   st.packet.expected_relay = packet.expected_relay;
   st.packet.expected_relay_code_len = packet.expected_relay_code_len;
@@ -528,8 +532,7 @@ AckDecision Forwarding::handle_feedback(NodeId from,
     }
     addressing_->neighbors().mark_unreachable(from, sim_->now());
     st.packet = packet;
-    st.packet.hops_so_far =
-        static_cast<std::uint8_t>(packet.hops_so_far + 1);
+    st.packet.hops_so_far = field::u8(packet.hops_so_far + 1);
     st.holding = true;
     st.done = false;
     st.attempts = 0;
@@ -573,6 +576,9 @@ AckDecision Forwarding::handle_feedback(NodeId from,
   TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(),
                     TraceEvent::kForwardDecision, packet.seqno, from,
                     rescue_reason);
+  if (auditor_ != nullptr) {
+    auditor_->on_claim(mac_->id(), packet, rescue_reason, /*rescue=*/true);
+  }
   claim(from, packet);
   return AckDecision::kAcceptAndAck;
 }

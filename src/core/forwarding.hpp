@@ -59,6 +59,24 @@ struct ForwardingConfig {
   bool match_old_codes = true;
 };
 
+/// Observer interface for the runtime invariant engine (src/check): the
+/// forwarding plane reports every relay claim (with the claim condition it
+/// invoked) and every final delivery, so an independent re-check can verify
+/// the claim was justified and no seqno is consumed twice. Kept here so core
+/// does not depend on the checking layer.
+class ForwardingAuditor {
+ public:
+  virtual ~ForwardingAuditor() = default;
+  /// `stated` is the claim condition the forwarding plane invoked
+  /// (kExpectedRelay / kLongerPrefix / kNeighborPrefix); `rescue` marks a
+  /// feedback-overhear rescue, whose progress bar is >= instead of >.
+  virtual void on_claim(NodeId node, const msg::ControlPacket& packet,
+                        TraceReason stated, bool rescue) = 0;
+  /// First consumption of a control seqno at its destination.
+  virtual void on_final_delivery(NodeId node, const msg::ControlPacket& packet,
+                                 bool direct) = 0;
+};
+
 /// The control-packet forwarding half of TeleAdjusting (Sec. III-C):
 /// distributed prefix matching against the destination's path code,
 /// link-layer anycast claims by any node that can out-progress the expected
@@ -144,6 +162,10 @@ class Forwarding {
   /// reasons). Pass nullptr to detach; recording is a null-check when unset.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attaches the invariant auditor (claim/delivery re-checks). Pass nullptr
+  /// to detach; auditing is a null-check when unset.
+  void set_auditor(ForwardingAuditor* auditor) noexcept { auditor_ = auditor; }
+
   struct Candidate {
     NodeId id = kInvalidNode;
     std::size_t code_len = 0;
@@ -226,6 +248,7 @@ class Forwarding {
   std::uint32_t next_seqno_ = 1;
   Stats stats_;
   Tracer* tracer_ = nullptr;
+  ForwardingAuditor* auditor_ = nullptr;
 };
 
 }  // namespace telea

@@ -1,5 +1,7 @@
 #include "core/group_control.hpp"
 
+#include "util/field.hpp"
+
 #include <algorithm>
 #include <map>
 
@@ -63,7 +65,7 @@ AckDecision GroupControl::handle(NodeId from, const msg::GroupControlPacket& pac
 
   ++stats_.claims;
   for (const auto& d : fresh) st.processed_dests.insert(d.dest);
-  const auto hops = static_cast<std::uint8_t>(packet.hops_so_far + 1);
+  const auto hops = field::u8(packet.hops_so_far + 1);
   const std::uint32_t group = packet.group_seqno;
   const std::uint16_t command = packet.command;
   // Defer like the unicast plane: stay receptive while the upstream sender
@@ -145,8 +147,8 @@ void GroupControl::send_branch(std::uint32_t group_seqno, std::uint16_t command,
   msg::GroupControlPacket packet;
   packet.dests = dests;
   packet.expected_relay = relay.id;
-  packet.expected_relay_code_len = static_cast<std::uint8_t>(
-      std::min<std::size_t>(relay.code_len, 0xFF));
+  packet.expected_relay_code_len =
+      field::u8(std::min<std::size_t>(relay.code_len, 0xFF));
   packet.group_seqno = group_seqno;
   packet.command = command;
   packet.hops_so_far = hops;

@@ -110,6 +110,10 @@ std::optional<std::uint32_t> Controller::send_command(NodeId node,
   const auto seq = sink_tele->send_control(node, *code, command);
   if (!seq.has_value()) return std::nullopt;
   if (!retry_.enabled) return seq;
+  // Conservation audit: the engine now expects exactly one resolution.
+  if (InvariantEngine* inv = net_->invariants()) {
+    inv->note_command_issued(*seq);
+  }
 
   const std::uint64_t id = next_cmd_id_++;
   PendingCommand& cmd = pending_[id];
@@ -305,6 +309,9 @@ void Controller::resolve(std::uint64_t id, CommandOutcome outcome) {
     sit = sit->second == id ? seqno_to_cmd_.erase(sit) : std::next(sit);
   }
   pending_.erase(it);
+  if (InvariantEngine* inv = net_->invariants()) {
+    inv->note_command_resolved(res.first_seqno);
+  }
   if (on_command_resolved) on_command_resolved(res);
 }
 

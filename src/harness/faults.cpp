@@ -46,6 +46,22 @@ FaultPlan& FaultPlan::noise_burst(SimTime at, SimTime duration,
   return *this;
 }
 
+FaultPlan& FaultPlan::corrupt_path_code(SimTime at, NodeId node,
+                                        std::size_t bit) {
+  events_.push_back(Event{at, node, Action::kCorruptCode, kInvalidNode,
+                          static_cast<double>(bit)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_child_position(SimTime at, NodeId node,
+                                             std::size_t slot,
+                                             std::uint32_t position) {
+  events_.push_back(Event{at, node, Action::kCorruptChildPos,
+                          static_cast<NodeId>(slot),
+                          static_cast<double>(position)});
+  return *this;
+}
+
 FaultPlan& FaultPlan::partition(SimTime at, SimTime duration,
                                 const std::vector<NodeId>& island,
                                 std::size_t node_count) {
@@ -171,6 +187,27 @@ void FaultPlan::apply(Network& net) const {
               << "t=" << to_seconds(when) << "s noise cleared at node "
               << event.node;
           net.medium().clear_extra_noise(event.node);
+          break;
+        case Action::kCorruptCode:
+          if (TeleAdjusting* tele = net.node(event.node).tele()) {
+            const auto bit = static_cast<std::size_t>(event.value);
+            if (tele->addressing().corrupt_code_bit(bit)) {
+              TELEA_INFO("harness.faults")
+                  << "t=" << to_seconds(when) << "s corrupt code bit " << bit
+                  << " at node " << event.node;
+            }
+          }
+          break;
+        case Action::kCorruptChildPos:
+          if (TeleAdjusting* tele = net.node(event.node).tele()) {
+            const auto pos = static_cast<std::uint32_t>(event.value);
+            if (tele->addressing().corrupt_child_position(event.peer, pos)) {
+              TELEA_INFO("harness.faults")
+                  << "t=" << to_seconds(when) << "s corrupt child slot "
+                  << event.peer << " position to " << pos << " at node "
+                  << event.node;
+            }
+          }
           break;
       }
     }, "fault.inject");

@@ -21,6 +21,8 @@ class FaultPlan {
     kLinkLoss,         // add `value` dB of loss on node<->peer (negative undoes)
     kNoiseOn,          // inject a `value` dBm noise source at node
     kNoiseOff,         // remove the injected noise source at node
+    kCorruptCode,      // silently flip bit `value` of the node's path code
+    kCorruptChildPos,  // rewrite child slot `peer`'s position to `value`
   };
 
   struct Event {
@@ -67,6 +69,16 @@ class FaultPlan {
   /// for `duration` — a co-located appliance / jammer burst.
   FaultPlan& noise_burst(SimTime at, SimTime duration,
                          const std::vector<NodeId>& region, double dbm);
+
+  /// Memory-corruption fault (invariant-engine exercises): silently flips
+  /// bit `bit` (modulo code length) of the node's own path code — no beacon,
+  /// no table update, exactly the inconsistency the checks exist to catch.
+  FaultPlan& corrupt_path_code(SimTime at, NodeId node, std::size_t bit = 0);
+
+  /// Rewrites the position of child-table slot `slot` on `node` to
+  /// `position`, leaving the stored derived code stale.
+  FaultPlan& corrupt_child_position(SimTime at, NodeId node, std::size_t slot,
+                                    std::uint32_t position);
 
   /// Cuts the network: every link between a node in `island` and a node
   /// outside it (over all `node_count` nodes) is blacked out for `duration`.

@@ -144,6 +144,7 @@ void NodeStack::reboot_with_state_loss() {
   if (tracer_ != nullptr) {
     tracer_->record(sim_->now(), id(), TraceEvent::kReboot);
   }
+  if (invariants_ != nullptr) invariants_->note_node_reset(id());
   data_timer_.stop();
   if (!mac_.stopped()) mac_.stop();  // flush queue + in-flight sends
   if (tele_) tele_->reset_state();   // forwarding first, then addressing
@@ -169,6 +170,11 @@ void NodeStack::set_tracer(Tracer* tracer) {
       };
     }
   }
+}
+
+void NodeStack::set_invariant_engine(InvariantEngine* engine) {
+  invariants_ = engine;
+  if (tele_ != nullptr) tele_->forwarding().set_auditor(engine);
 }
 
 void NodeStack::start_data_collection(SimTime ipi, std::uint64_t seed) {
@@ -365,6 +371,9 @@ void Network::collect_metrics(MetricsRegistry& registry) const {
   registry.describe("telea_trace_dropped_total", "Trace records evicted from the ring");
   registry.describe("telea_sim_events_total", "Simulator events dispatched (profiling runs)");
   registry.describe("telea_sim_max_queue_depth", "Peak event-queue depth (profiling runs)");
+  registry.describe("telea_invariant_violations_total", "Protocol invariant violations detected, by rule");
+  registry.describe("telea_invariant_checkpoints_total", "Structural invariant checkpoints evaluated");
+  registry.describe("telea_invariant_claims_audited_total", "Forwarding claims re-checked by the invariant engine");
 
   Histogram& duty_hist = registry.histogram(
       "telea_node_duty_cycle",
@@ -426,6 +435,21 @@ void Network::collect_metrics(MetricsRegistry& registry) const {
     registry.counter("telea_trace_dropped_total", {{"sub", "trace"}})
         .set_total(tracer_->dropped());
   }
+  if (invariants_ != nullptr) {
+    for (std::uint8_t i = 0;
+         i <= static_cast<std::uint8_t>(InvariantRule::kCtpNoLoop); ++i) {
+      const auto rule = static_cast<InvariantRule>(i);
+      registry
+          .counter("telea_invariant_violations_total",
+                   {{"sub", "check"}, {"rule", invariant_rule_name(rule)}})
+          .set_total(invariants_->violation_count(rule));
+    }
+    registry.counter("telea_invariant_checkpoints_total", {{"sub", "check"}})
+        .set_total(invariants_->checkpoints_run());
+    registry
+        .counter("telea_invariant_claims_audited_total", {{"sub", "check"}})
+        .set_total(invariants_->claims_audited());
+  }
   if (sim_.profiling()) {
     const SimProfile& prof = sim_.profile();
     registry.counter("telea_sim_events_total", {{"sub", "sim"}})
@@ -435,10 +459,52 @@ void Network::collect_metrics(MetricsRegistry& registry) const {
   }
 }
 
+InvariantEngine& Network::enable_invariants(const InvariantConfig& config) {
+  if (invariants_ != nullptr) return *invariants_;
+  invariants_ = std::make_unique<InvariantEngine>(sim_, config);
+  invariants_->set_tracer(tracer_.get());
+  for (auto& n : nodes_) n->set_invariant_engine(invariants_.get());
+  invariants_->start([this] { return invariant_views(); });
+  return *invariants_;
+}
+
+std::vector<InvariantNodeView> Network::invariant_views() const {
+  std::vector<InvariantNodeView> views;
+  views.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    InvariantNodeView v;
+    v.id = n->id();
+    v.alive = !n->killed();
+    v.ctp_parent = n->ctp().parent();
+    v.ctp_parent_heard = n->ctp().parent_last_heard();
+    v.ctp_cost = n->ctp().path_etx10();
+    if (const TeleAdjusting* tele = n->tele()) {
+      const Addressing& addr = tele->addressing();
+      v.has_addressing = true;
+      v.code = addr.code();
+      v.old_code = addr.old_code();
+      v.code_parent = addr.code_parent();
+      v.space_bits = addr.space_bits();
+      v.reserve_zero_position = addr.config().reserve_zero_position;
+      for (const auto& e : addr.children().entries()) {
+        v.children.push_back({e.child, e.position, e.new_code, e.old_code,
+                              e.confirmed});
+      }
+      for (const auto& e : addr.neighbors().entries()) {
+        v.neighbors.push_back({e.neighbor, e.new_code, e.old_code,
+                               e.unreachable, e.unreachable_since});
+      }
+    }
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
 Tracer& Network::enable_tracing(std::size_t capacity) {
   if (tracer_ != nullptr) return *tracer_;
   tracer_ = std::make_unique<Tracer>(capacity);
   for (auto& n : nodes_) n->set_tracer(tracer_.get());
+  if (invariants_ != nullptr) invariants_->set_tracer(tracer_.get());
   medium_->add_transmit_hook(
       [this](NodeId src, const Frame& frame, SimTime) {
         tracer_->record(sim_.now(), src, TraceEvent::kTransmit,

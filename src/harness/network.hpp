@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "core/teleadjusting.hpp"
 #include "mac/lpl.hpp"
 #include "net/ctp.hpp"
@@ -108,6 +109,10 @@ class NodeStack final : public FrameHandler, public CtpListener {
   /// kill/revive for this node). Pass nullptr to detach.
   void set_tracer(Tracer* tracer);
 
+  /// Attaches the invariant engine as this node's forwarding auditor and
+  /// reset observer. Pass nullptr to detach.
+  void set_invariant_engine(InvariantEngine* engine);
+
  private:
   LinkEstimator estimator_;
   LplMac mac_;
@@ -119,6 +124,7 @@ class NodeStack final : public FrameHandler, public CtpListener {
   Timer data_timer_;
   Simulator* sim_;
   Tracer* tracer_ = nullptr;
+  InvariantEngine* invariants_ = nullptr;
   // Remembered so a state-loss reboot restarts the application workload.
   SimTime data_ipi_ = 0;
   std::uint64_t data_seed_ = 0;
@@ -188,6 +194,21 @@ class Network {
   Tracer& enable_tracing(std::size_t capacity = 1 << 16);
   [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
 
+  /// Turns on the runtime invariant engine (src/check): periodic structural
+  /// checkpoints over every node's addressing/table/routing state plus
+  /// event-driven claim/delivery audits fed by each forwarding plane.
+  /// Violations land in the tracer (when tracing is enabled), the logs, and
+  /// collect_metrics (telea_invariant_violations_total). Idempotent — the
+  /// config of the first call wins; the engine lives as long as the network.
+  InvariantEngine& enable_invariants(const InvariantConfig& config = {});
+  [[nodiscard]] InvariantEngine* invariants() noexcept {
+    return invariants_.get();
+  }
+
+  /// One InvariantNodeView per node, snapshotting the protocol state the
+  /// structural invariants range over. Public for tests and tools.
+  [[nodiscard]] std::vector<InvariantNodeView> invariant_views() const;
+
   /// Mirrors every component's counters into `registry`, scoped per node
   /// (label "node") and per subsystem (label "sub": phy / lpl / ctp /
   /// forwarding / teleadjusting / sim). Collector-style: call it again to
@@ -204,6 +225,7 @@ class Network {
   std::unique_ptr<WifiInterferer> interferer_;
   std::vector<std::unique_ptr<NodeStack>> nodes_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<InvariantEngine> invariants_;
 };
 
 }  // namespace telea

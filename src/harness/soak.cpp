@@ -77,7 +77,11 @@ void emit_arm(std::ostringstream& out, const char* key,
       << "      \"escalations\": " << r.escalations << ",\n"
       << "      \"faults_injected\": " << r.faults_injected << ",\n"
       << "      \"tx_per_command\": " << r.tx_per_command << ",\n"
-      << "      \"delivery_ratio\": " << r.delivery_ratio() << "\n"
+      << "      \"delivery_ratio\": " << r.delivery_ratio() << ",\n"
+      << "      \"invariant_violations\": " << r.invariant_violations << ",\n"
+      << "      \"invariant_checkpoints\": " << r.invariant_checkpoints
+      << ",\n"
+      << "      \"claims_audited\": " << r.claims_audited << "\n"
       << "    }";
 }
 
@@ -113,6 +117,8 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
         break;
     }
   };
+
+  if (cfg.invariants) net.enable_invariants();
 
   net.start();
   net.start_data_collection(cfg.data_ipi);
@@ -172,6 +178,16 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
           ? 0.0
           : static_cast<double>(control_ops.size()) /
                 static_cast<double>(result.commands);
+  if (InvariantEngine* inv = net.invariants()) {
+    inv->final_audit();
+    result.invariant_violations = inv->violations().size();
+    result.invariant_checkpoints = inv->checkpoints_run();
+    result.claims_audited = inv->claims_audited();
+    if (result.invariant_violations > 0) {
+      TELEA_WARN("harness.soak") << "invariant violations:\n"
+                                 << inv->render_report();
+    }
+  }
   TELEA_INFO("harness.soak") << "done: " << result.acked << "/"
                              << result.commands << " acked, "
                              << result.retries << " retries, "

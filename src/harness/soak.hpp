@@ -38,6 +38,11 @@ struct ChurnSoakConfig {
   double noise_dbm = -75.0;
   SimTime noise_duration = 90 * kSecond;
   bool state_loss_reboot = true;
+
+  /// Run the soak under the runtime invariant engine (src/check). The soak
+  /// must come out clean: any violation means fault handling corrupted
+  /// protocol state rather than merely losing packets.
+  bool invariants = true;
 };
 
 struct ChurnSoakResult {
@@ -50,6 +55,10 @@ struct ChurnSoakResult {
   std::uint64_t escalations = 0;
   unsigned faults_injected = 0;  // logical faults (an outage counts once)
   double tx_per_command = 0.0;   // control-plane LPL send ops / command
+  // Invariant engine verdict (cfg.invariants): violations must stay 0.
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t invariant_checkpoints = 0;
+  std::uint64_t claims_audited = 0;
 
   [[nodiscard]] double delivery_ratio() const noexcept {
     return commands == 0

@@ -1,5 +1,7 @@
 #include "net/ctp.hpp"
 
+#include "util/field.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -53,6 +55,14 @@ std::optional<CtpNode::NeighborRoute> CtpNode::neighbor_route(NodeId id) const {
   return std::nullopt;
 }
 
+SimTime CtpNode::parent_last_heard() const noexcept {
+  if (parent_ == kInvalidNode) return 0;
+  for (const auto& e : routes_) {
+    if (e.id == parent_) return e.heard;
+  }
+  return 0;
+}
+
 void CtpNode::handle_beacon(NodeId from, const msg::CtpBeacon& beacon) {
   estimator_->on_beacon(from, beacon.seqno);
 
@@ -63,6 +73,7 @@ void CtpNode::handle_beacon(NodeId from, const msg::CtpBeacon& beacon) {
     it = routes_.end() - 1;
   }
   it->route = NeighborRoute{beacon.parent, beacon.etx, beacon.hops};
+  it->heard = sim_->now();
 
   // Answer a pull only when we actually have a route to advertise; a
   // route-less cluster pulling each other would otherwise beacon-storm at
@@ -77,10 +88,16 @@ void CtpNode::handle_beacon(NodeId from, const msg::CtpBeacon& beacon) {
 void CtpNode::recompute_route() {
   if (is_root_) return;
 
-  // A parent that now advertises an invalid route is no route at all.
+  // A parent that now advertises an invalid route — or a route through us
+  // (a mutual loop formed from a stale entry on its side) — is no route at
+  // all. Without the loop clause the mutual case is stable: the selection
+  // loop below only refuses to *pick* such a neighbor, it never evicts one
+  // we already hold, so two nodes pointing at each other would keep doing so
+  // for as long as the churn that created the race lasts.
   if (parent_ != kInvalidNode) {
     const auto cur = neighbor_route(parent_);
-    if (cur.has_value() && cur->etx10 >= config_.max_path_etx10) {
+    if (cur.has_value() && (cur->etx10 >= config_.max_path_etx10 ||
+                            cur->parent == mac_->id())) {
       parent_ = kInvalidNode;
       path_etx10_ = 0xFFFF;
       hops_ = 0xFF;
@@ -98,8 +115,7 @@ void CtpNode::recompute_route() {
     if (cost < best_cost) {
       best_cost = cost;
       best = e.id;
-      best_hops = static_cast<std::uint8_t>(
-          e.route.hops == 0xFF ? 0xFF : e.route.hops + 1);
+      best_hops = field::u8(e.route.hops == 0xFF ? 0xFF : e.route.hops + 1);
     }
   }
   if (best == kInvalidNode) return;
@@ -117,15 +133,25 @@ void CtpNode::recompute_route() {
   if (!switch_worthy) return;
 
   const NodeId old_parent = parent_;
+  const std::uint16_t old_cost = path_etx10_;
   parent_ = best;
-  path_etx10_ = static_cast<std::uint16_t>(
-      std::min<std::uint32_t>(best_cost, 0xFFFF));
+  path_etx10_ = field::u16(best_cost);
   hops_ = best_hops;
 
   if (old_parent != parent_) {
     ++stats_.parent_changes;
     if (listener_ != nullptr) listener_->on_parent_changed(old_parent, parent_);
     beacon_timer_.reset();  // topology change: advertise promptly
+  } else if (path_etx10_ > old_cost &&
+             path_etx10_ - old_cost >= config_.parent_switch_threshold10) {
+    // Cost through the unchanged parent jumped: the tree above us worsened,
+    // or we are part of a routing loop counting itself up. Either way the
+    // neighborhood's picture of us is now inconsistent — reset the beacon
+    // interval (trickle's inconsistency rule) so the new cost propagates at
+    // Imin. In a loop this is what turns count-to-infinity from hours (Imax
+    // beacons) into seconds: each prompt beacon bumps the next member until
+    // the cost crosses max_path_etx10 and the cycle tears itself down.
+    beacon_timer_.reset();
   }
   if (!route_announced_) {
     route_announced_ = true;
@@ -190,7 +216,7 @@ AckDecision CtpNode::handle_data(NodeId from, const msg::CtpData& data,
     return AckDecision::kIgnore;
   }
   msg::CtpData fwd = data;
-  fwd.thl = static_cast<std::uint8_t>(data.thl + 1);
+  fwd.thl = field::u8(data.thl + 1);
   ++stats_.data_forwarded;
   if (fwd.is_control_ack) {
     TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kAckPath,

@@ -107,6 +107,10 @@ class CtpNode {
   [[nodiscard]] NodeId parent() const noexcept { return parent_; }
   [[nodiscard]] std::uint16_t path_etx10() const noexcept { return path_etx10_; }
   [[nodiscard]] std::uint8_t hops() const noexcept { return hops_; }
+  /// When the current parent's beacon was last received (0 = never / no
+  /// parent). Lets the invariant engine tell an *active* parent link from a
+  /// pointer frozen by a link fault (docs/STATIC_ANALYSIS.md, ctp.no_loop).
+  [[nodiscard]] SimTime parent_last_heard() const noexcept;
   [[nodiscard]] bool is_root() const noexcept { return is_root_; }
   [[nodiscard]] LinkEstimator& estimator() noexcept { return *estimator_; }
 
@@ -153,6 +157,7 @@ class CtpNode {
   struct RouteEntry {
     NodeId id;
     NeighborRoute route;
+    SimTime heard = 0;  // when this neighbor's beacon was last received
   };
 
   void recompute_route();

@@ -1,5 +1,7 @@
 #include "net/link_estimator.hpp"
 
+#include "util/field.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -41,8 +43,9 @@ void LinkEstimator::on_beacon(NodeId neighbor, std::uint8_t seqno) {
     e->window_received = 1;
     return;
   }
-  const std::uint8_t gap =
-      static_cast<std::uint8_t>(seqno - e->last_seqno);
+  // Link seqnos are defined to wrap mod 256; the delta wants modular, not
+  // saturating, arithmetic.
+  const std::uint8_t gap = field::wrap_u8(seqno - e->last_seqno);
   e->last_seqno = seqno;
   if (gap == 0) return;  // duplicate beacon copy
   e->window_received += 1;
@@ -104,7 +107,7 @@ std::uint16_t LinkEstimator::etx10(NodeId neighbor) const {
   }
   const double etx10 = std::min(etx * 10.0,
                                 static_cast<double>(config_.max_etx10));
-  return static_cast<std::uint16_t>(std::lround(etx10));
+  return field::u16(std::lround(etx10));
 }
 
 bool LinkEstimator::knows(NodeId neighbor) const {

@@ -1,5 +1,7 @@
 #include "proto/drip.hpp"
 
+#include "util/field.hpp"
+
 namespace telea {
 
 DripNode::DripNode(Simulator& sim, LplMac& mac, const DripConfig& config,
@@ -33,7 +35,7 @@ void DripNode::broadcast_value() {
   Frame frame;
   frame.dst = kBroadcastNode;
   msg::DripMsg out = value_;
-  out.hops_so_far = static_cast<std::uint8_t>(value_.hops_so_far + 1);
+  out.hops_so_far = field::u8(value_.hops_so_far + 1);
   frame.payload = out;
   mac_->send(std::move(frame), [this](const SendResult&) {
     broadcasting_ = false;

@@ -1,5 +1,7 @@
 #include "proto/orpl.hpp"
 
+#include "util/field.hpp"
+
 #include <algorithm>
 
 #include "util/rng.hpp"
@@ -116,7 +118,7 @@ AckDecision OrplNode::handle_data(NodeId from, const msg::OrplData& data) {
 }
 
 void OrplNode::enqueue(msg::OrplData data) {
-  data.hops_so_far = static_cast<std::uint8_t>(data.hops_so_far + 1);
+  data.hops_so_far = field::u8(data.hops_so_far + 1);
   queue_.push_back(data);
   forward_next();
 }

@@ -1,5 +1,7 @@
 #include "proto/rpl.hpp"
 
+#include "util/field.hpp"
+
 #include <algorithm>
 
 namespace telea {
@@ -252,10 +254,10 @@ AckDecision RplNode::handle_data(NodeId from, const msg::RplData& data,
 }
 
 void RplNode::enqueue(msg::RplData data) {
-  data.hops_so_far = static_cast<std::uint8_t>(data.hops_so_far + 1);
+  data.hops_so_far = field::u8(data.hops_so_far + 1);
   if (!data.source_route.empty() && !ctp_->is_root()) {
     // We are source_route[route_index]; the next hop is the entry after us.
-    data.route_index = static_cast<std::uint8_t>(data.route_index + 1);
+    data.route_index = field::u8(data.route_index + 1);
   }
   queue_.push_back(data);
   forward_next();

@@ -25,6 +25,7 @@ const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kLinkFault: return "link_fault";
     case TraceEvent::kNoiseBurst: return "noise_burst";
     case TraceEvent::kReboot: return "reboot";
+    case TraceEvent::kInvariantViolation: return "invariant_violation";
   }
   return "?";
 }
@@ -45,8 +46,8 @@ const char* trace_reason_name(TraceReason r) noexcept {
 }
 
 std::optional<TraceEvent> trace_event_from_name(std::string_view name) noexcept {
-  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(TraceEvent::kReboot);
-       ++i) {
+  for (std::uint8_t i = 0;
+       i <= static_cast<std::uint8_t>(TraceEvent::kInvariantViolation); ++i) {
     const auto e = static_cast<TraceEvent>(i);
     if (name == trace_event_name(e)) return e;
   }

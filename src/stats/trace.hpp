@@ -41,6 +41,8 @@ enum class TraceEvent : std::uint8_t {
                      // b = the other endpoint (node = this endpoint)
   kNoiseBurst,       // injected channel noise at this node; a = |dBm| level
   kReboot,           // node rebooted with all protocol state wiped
+  kInvariantViolation,  // protocol invariant broke at this node; a = rule id
+                        // (InvariantRule), b = the peer/seqno the rule names
 };
 
 /// Why a decision event fired. kNone for events that carry no reason.

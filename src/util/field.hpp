@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace telea::field {
+
+/// Checked-width narrowing for packet wire fields.
+///
+/// Integer arithmetic on narrow packet fields (`hops_so_far + 1`, ETX sums,
+/// seqno deltas) promotes to int, and `-Wconversion` rightly flags the
+/// assignment back into the field. A bare `static_cast` silences the warning
+/// but also silences genuine overflow: a hop counter that wraps 255 -> 0
+/// resets a loop guard instead of saturating it. These helpers make the
+/// narrowing intent explicit and keep the value inside the field's range:
+///
+///  - `u8(v)` / `u16(v)`  saturate at the field limits (and assert in debug
+///    builds that no clamping actually happened — a clamp in a unit test is
+///    a bug worth hearing about),
+///  - `wrap_u8(v)` / `wrap_u16(v)` reduce modulo 2^width for fields whose
+///    arithmetic is *defined* to wrap (link-layer sequence number deltas).
+///
+/// tools/telea_lint enforces that src/core, src/net and src/proto use these
+/// instead of raw `static_cast<std::uint8_t|std::uint16_t>` on packet paths.
+template <typename Narrow, typename Wide>
+[[nodiscard]] constexpr Narrow saturate(Wide v) noexcept {
+  static_assert(std::is_integral_v<Wide> && std::is_unsigned_v<Narrow>);
+  constexpr Wide kMax = static_cast<Wide>(std::numeric_limits<Narrow>::max());
+  if constexpr (std::is_signed_v<Wide>) {
+    if (v < 0) {
+      assert(!"field::saturate: negative value clamped to 0");
+      return 0;
+    }
+  }
+  if (v > kMax) {
+    assert(!"field::saturate: value clamped to field maximum");
+    return std::numeric_limits<Narrow>::max();
+  }
+  return static_cast<Narrow>(v);
+}
+
+template <typename Wide>
+[[nodiscard]] constexpr std::uint8_t u8(Wide v) noexcept {
+  return saturate<std::uint8_t>(v);
+}
+
+template <typename Wide>
+[[nodiscard]] constexpr std::uint16_t u16(Wide v) noexcept {
+  return saturate<std::uint16_t>(v);
+}
+
+/// Modulo-2^8 reduction for fields whose arithmetic is defined to wrap.
+template <typename Wide>
+[[nodiscard]] constexpr std::uint8_t wrap_u8(Wide v) noexcept {
+  static_assert(std::is_integral_v<Wide>);
+  return static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) & 0xFFu);
+}
+
+/// Modulo-2^16 reduction for fields whose arithmetic is defined to wrap.
+template <typename Wide>
+[[nodiscard]] constexpr std::uint16_t wrap_u16(Wide v) noexcept {
+  static_assert(std::is_integral_v<Wide>);
+  return static_cast<std::uint16_t>(static_cast<std::uint64_t>(v) & 0xFFFFu);
+}
+
+}  // namespace telea::field

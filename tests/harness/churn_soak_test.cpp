@@ -37,6 +37,13 @@ TEST(ChurnSoak, RetriesDeliverAtLeast95PercentAndBeatFireAndForget) {
   EXPECT_GE(with_retries.commands, 20u);
   EXPECT_EQ(with_retries.unresolved, 0u);
 
+  // The soak runs under the invariant engine (cfg.invariants defaults on):
+  // faults may lose packets, but they must never corrupt protocol state.
+  EXPECT_GT(with_retries.invariant_checkpoints, 0u);
+  EXPECT_GT(with_retries.claims_audited, 0u);
+  EXPECT_EQ(with_retries.invariant_violations, 0u);
+  EXPECT_EQ(without.invariant_violations, 0u);
+
   EXPECT_GE(with_retries.delivery_ratio(), 0.95)
       << with_retries.acked << "/" << with_retries.commands << " acked, "
       << with_retries.gave_up << " gave up";

@@ -1,0 +1,271 @@
+// Unit tests for telea_lint (tools/telea_lint): the stripper and enum parser
+// on tricky inputs, then each rule family against a fabricated mini-tree —
+// once seeded with a violation (rule fires, right file/line) and once clean.
+#include "telea_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace telea::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "telea_lint_tree";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << text;
+  }
+
+  fs::path root_;
+};
+
+// --- stripper ---------------------------------------------------------------
+
+TEST(StripTest, RemovesCommentsAndLiteralContentsKeepsNewlines) {
+  const std::string src =
+      "int a; // rand()\n"
+      "/* time(\n"
+      "   nullptr) */ int b;\n"
+      "const char* s = \"rand()\";\n"
+      "char c = 'r';\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  // Quote characters survive (only contents are blanked) so string
+  // boundaries remain visible to downstream scans.
+  EXPECT_NE(out.find('"'), std::string::npos);
+}
+
+TEST(StripTest, HandlesEscapedQuotesInsideLiterals) {
+  const std::string out =
+      strip_comments_and_strings("auto s = \"a\\\"rand()\\\"b\"; int x;");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+// --- enum parser ------------------------------------------------------------
+
+TEST(ParseEnumeratorsTest, CollectsNamesSkipsInitializersAndComments) {
+  const std::string header =
+      "enum class Color : std::uint8_t {\n"
+      "  kRed,            // warm\n"
+      "  kGreen = 4,\n"
+      "  kBlue,\n"
+      "};\n"
+      "enum class Other { kOther };\n";
+  const auto names = parse_enumerators(header, "Color");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "kRed");
+  EXPECT_EQ(names[1], "kGreen");
+  EXPECT_EQ(names[2], "kBlue");
+  EXPECT_TRUE(parse_enumerators(header, "Missing").empty());
+  const auto other = parse_enumerators(header, "Other");
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0], "kOther");
+}
+
+// --- enum-string rule -------------------------------------------------------
+
+namespace {
+
+const char* kColorHeader =
+    "enum class Color : std::uint8_t {\n"
+    "  kRed,\n"
+    "  kGreen,\n"
+    "  kBlue,\n"
+    "};\n";
+
+std::string color_source(bool case_for_blue, const std::string& loop_bound) {
+  std::string src =
+      "const char* color_name(Color c) {\n"
+      "  switch (c) {\n"
+      "    case Color::kRed: return \"red\";\n"
+      "    case Color::kGreen: return \"green\";\n";
+  if (case_for_blue) src += "    case Color::kBlue: return \"blue\";\n";
+  src +=
+      "  }\n"
+      "  return \"?\";\n"
+      "}\n"
+      "std::optional<Color> color_from_name(std::string_view n) {\n"
+      "  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(" +
+      loop_bound +
+      "); ++i) {\n"
+      "    if (n == color_name(static_cast<Color>(i))) return "
+      "static_cast<Color>(i);\n"
+      "  }\n"
+      "  return std::nullopt;\n"
+      "}\n";
+  return src;
+}
+
+}  // namespace
+
+TEST_F(LintTreeTest, EnumStringRuleFiresOnMissingCaseAndStaleLoopBound) {
+  Options opts;
+  opts.root = root_;
+  opts.enums = {{"Color", "src/color.hpp", "src/color.cpp", "color_name",
+                 "color_from_name"}};
+  write("src/color.hpp", kColorHeader);
+
+  write("src/color.cpp", color_source(true, "Color::kBlue"));
+  EXPECT_TRUE(check_enum_strings(opts).empty());
+
+  // Missing switch case for the newest enumerator.
+  write("src/color.cpp", color_source(false, "Color::kBlue"));
+  auto findings = check_enum_strings(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "enum-string");
+  EXPECT_EQ(findings[0].file, "src/color.cpp");
+  EXPECT_NE(findings[0].message.find("kBlue"), std::string::npos);
+
+  // Probe loop still bounded on the old last enumerator.
+  write("src/color.cpp", color_source(true, "Color::kGreen"));
+  findings = check_enum_strings(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("color_from_name"), std::string::npos);
+}
+
+TEST_F(LintTreeTest, EnumWithoutFromNameFnSkipsTheLoopCheck) {
+  Options opts;
+  opts.root = root_;
+  opts.enums = {{"Color", "src/color.hpp", "src/color.cpp", "color_name",
+                 /*from_name_fn=*/""}};
+  write("src/color.hpp", kColorHeader);
+  write("src/color.cpp",
+        "const char* color_name(Color c) {\n"
+        "  switch (c) {\n"
+        "    case Color::kRed: return \"red\";\n"
+        "    case Color::kGreen: return \"green\";\n"
+        "    case Color::kBlue: return \"blue\";\n"
+        "  }\n"
+        "  return \"?\";\n"
+        "}\n");
+  EXPECT_TRUE(check_enum_strings(opts).empty());
+}
+
+// --- metric-docs rule -------------------------------------------------------
+
+TEST_F(LintTreeTest, MetricDocsRuleFiresOnUndocumentedMetric) {
+  Options opts;
+  opts.root = root_;
+  opts.enums.clear();
+  write("src/stats.cpp",
+        "void f(R& r) {\n"
+        "  r.describe(\"telea_documented_total\", \"...\");\n"
+        "  r.counter(\"telea_undocumented_total\", {});\n"
+        "}\n");
+  write("docs/OBSERVABILITY.md", "- `telea_documented_total` — a counter\n");
+
+  const auto findings = check_metric_docs(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metric-docs");
+  EXPECT_EQ(findings[0].file, "src/stats.cpp");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("telea_undocumented_total"),
+            std::string::npos);
+
+  write("docs/OBSERVABILITY.md",
+        "- `telea_documented_total` — a counter\n"
+        "- `telea_undocumented_total` — now documented\n");
+  EXPECT_TRUE(check_metric_docs(opts).empty());
+}
+
+// --- rng rule ---------------------------------------------------------------
+
+TEST_F(LintTreeTest, RngRuleBansUnseededEntropyOutsideTheExemptFiles) {
+  Options opts;
+  opts.root = root_;
+  opts.enums.clear();
+  write("src/util/rng.cpp", "std::random_device rd;  // the one sanctioned use\n");
+  write("src/bad.cpp",
+        "int f() {\n"
+        "  return rand() % 7;\n"
+        "}\n");
+
+  const auto findings = check_rng_discipline(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng");
+  EXPECT_EQ(findings[0].file, "src/bad.cpp");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST_F(LintTreeTest, RngRuleIgnoresMembersCommentsAndNonCalls) {
+  Options opts;
+  opts.root = root_;
+  opts.enums.clear();
+  write("src/ok.cpp",
+        "// rand() in a comment is fine\n"
+        "const char* s = \"time(nullptr)\";\n"
+        "void g(Clock& c) { c.time(); }        // member access\n"
+        "int run_time(int t) { return t; }     // substring, not the token\n"
+        "int x = my::rand();                   // qualified elsewhere\n");
+  EXPECT_TRUE(check_rng_discipline(opts).empty());
+}
+
+// --- field-width rule -------------------------------------------------------
+
+TEST_F(LintTreeTest, FieldWidthRuleFlagsRawNarrowingCastsInPacketCode) {
+  Options opts;
+  opts.root = root_;
+  opts.enums.clear();
+  write("src/proto/bad.cpp",
+        "void f(Packet& p, std::size_t n) {\n"
+        "  p.hops = static_cast<std::uint8_t>(n);\n"
+        "}\n");
+  // Outside the packet-facing dirs the cast is allowed.
+  write("src/harness/ok.cpp",
+        "int g(std::size_t n) { return static_cast<std::uint8_t>(n); }\n");
+
+  const auto findings = check_field_widths(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "field-width");
+  EXPECT_EQ(findings[0].file, "src/proto/bad.cpp");
+  EXPECT_EQ(findings[0].line, 2u);
+
+  write("src/proto/bad.cpp",
+        "void f(Packet& p, std::size_t n) {\n"
+        "  p.hops = field::u8(n);\n"
+        "}\n");
+  EXPECT_TRUE(check_field_widths(opts).empty());
+}
+
+// --- run_all against the real repository ------------------------------------
+
+TEST(LintRepoTest, CommittedTreeIsClean) {
+  // The build runs from <root>/build; the driver sets TELEA_LINT_ROOT when
+  // the layout differs.
+  const char* env = std::getenv("TELEA_LINT_ROOT");
+  Options opts;
+  opts.root = env != nullptr ? fs::path(env) : fs::path(TELEA_SOURCE_ROOT);
+  if (!fs::exists(opts.root / "src" / "stats" / "trace.hpp")) {
+    GTEST_SKIP() << "repository root not found";
+  }
+  const auto findings = run_all(opts);
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace telea::lint

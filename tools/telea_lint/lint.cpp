@@ -1,0 +1,387 @@
+#include "telea_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace telea::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+bool has_cxx_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Every .cpp/.hpp under root/<dir> for each scan dir, root-relative, sorted
+/// for deterministic output. Skips anything under a directory named "build".
+std::vector<std::string> collect_sources(const fs::path& root,
+                                         const std::vector<std::string>& dirs) {
+  std::vector<std::string> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && it->path().filename() == "build") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !has_cxx_extension(it->path())) continue;
+      files.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool exempt(const std::string& file, const std::vector<std::string>& list) {
+  return std::find(list.begin(), list.end(), file) != list.end();
+}
+
+/// First occurrence of `word` in `text` at word boundaries, from `from`.
+std::size_t find_word(std::string_view text, std::string_view word,
+                      std::size_t from = 0) {
+  for (std::size_t pos = text.find(word, from); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= text.size() || !is_word(text[after]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<EnumSpec> default_enum_specs() {
+  return {
+      {"TraceEvent", "src/stats/trace.hpp", "src/stats/trace.cpp",
+       "trace_event_name", "trace_event_from_name"},
+      {"TraceReason", "src/stats/trace.hpp", "src/stats/trace.cpp",
+       "trace_reason_name", "trace_reason_from_name"},
+      {"InvariantRule", "src/check/invariants.hpp", "src/check/invariants.cpp",
+       "invariant_rule_name", "invariant_rule_from_name"},
+      {"CommandOutcome", "src/harness/controller.hpp",
+       "src/harness/controller.cpp", "command_outcome_name", ""},
+  };
+}
+
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out(src);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+  } state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;  // keep the quote: call shapes survive
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> parse_enumerators(std::string_view header_text,
+                                           std::string_view enum_name) {
+  const std::string stripped = strip_comments_and_strings(header_text);
+  const std::string needle = "enum class " + std::string(enum_name);
+  std::size_t pos = find_word(stripped, needle);
+  if (pos == std::string::npos) return {};
+  const std::size_t open = stripped.find('{', pos);
+  const std::size_t close = stripped.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return {};
+
+  std::vector<std::string> names;
+  std::size_t i = open + 1;
+  while (i < close) {
+    // Each enumerator: identifier [ = initializer ] up to ',' or '}'.
+    while (i < close && !is_word(stripped[i])) ++i;
+    std::size_t start = i;
+    while (i < close && is_word(stripped[i])) ++i;
+    if (i > start) names.emplace_back(stripped.substr(start, i - start));
+    // Skip any initializer expression to the enumerator separator.
+    while (i < close && stripped[i] != ',') ++i;
+    ++i;
+  }
+  return names;
+}
+
+std::vector<Finding> check_enum_strings(const Options& opts) {
+  std::vector<Finding> findings;
+  for (const EnumSpec& spec : opts.enums) {
+    const std::string header = read_file(opts.root / spec.header);
+    if (header.empty()) {
+      findings.push_back({spec.header, 0, "enum-string",
+                          "cannot read header declaring enum " +
+                              spec.enum_name});
+      continue;
+    }
+    const std::vector<std::string> names =
+        parse_enumerators(header, spec.enum_name);
+    if (names.empty()) {
+      findings.push_back({spec.header, 0, "enum-string",
+                          "enum " + spec.enum_name + " not found"});
+      continue;
+    }
+    const std::string source_raw = read_file(opts.root / spec.source);
+    const std::string source = strip_comments_and_strings(source_raw);
+    const std::size_t fn_pos = find_word(source, spec.name_fn);
+    if (fn_pos == std::string::npos) {
+      findings.push_back({spec.source, 0, "enum-string",
+                          "mapping function " + spec.name_fn + " not found"});
+      continue;
+    }
+    for (const std::string& name : names) {
+      const std::string case_label =
+          "case " + spec.enum_name + "::" + name + ":";
+      if (source.find(case_label) == std::string::npos) {
+        findings.push_back(
+            {spec.source, line_of(source, fn_pos), "enum-string",
+             spec.enum_name + "::" + name + " has no case in " + spec.name_fn +
+                 "() — its string mapping is missing"});
+      }
+    }
+    if (!spec.from_name_fn.empty()) {
+      // The probe loop must be bounded on the LAST enumerator; anything else
+      // means values appended later silently fail to round-trip by name.
+      const std::size_t from_pos = find_word(source, spec.from_name_fn);
+      if (from_pos == std::string::npos) {
+        findings.push_back({spec.source, 0, "enum-string",
+                            "probe function " + spec.from_name_fn +
+                                " not found"});
+        continue;
+      }
+      const std::size_t body_end = source.find("\n}", from_pos);
+      const std::string_view body =
+          std::string_view(source).substr(from_pos,
+                                          body_end == std::string::npos
+                                              ? std::string::npos
+                                              : body_end - from_pos);
+      const std::string bound = spec.enum_name + "::" + names.back();
+      if (body.find(bound) == std::string_view::npos) {
+        findings.push_back(
+            {spec.source, line_of(source, from_pos), "enum-string",
+             spec.from_name_fn + "() loop bound does not name the last " +
+                 spec.enum_name + " enumerator (" + bound +
+                 ") — newly appended values will not round-trip"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_metric_docs(const Options& opts) {
+  std::vector<Finding> findings;
+  const std::string doc = read_file(opts.root / opts.metrics_doc);
+  if (doc.empty()) {
+    findings.push_back(
+        {opts.metrics_doc, 0, "metric-docs", "metrics document missing"});
+    return findings;
+  }
+  // First registered occurrence of every metric literal, for the report.
+  std::set<std::string> reported;
+  static const char* kCalls[] = {".describe(", ".counter(", ".gauge(",
+                                 ".histogram("};
+  for (const std::string& file :
+       collect_sources(opts.root, opts.metric_scan_dirs)) {
+    const std::string raw = read_file(opts.root / file);
+    for (const char* call : kCalls) {
+      for (std::size_t pos = raw.find(call); pos != std::string::npos;
+           pos = raw.find(call, pos + 1)) {
+        std::size_t i = pos + std::string_view(call).size();
+        while (i < raw.size() &&
+               std::isspace(static_cast<unsigned char>(raw[i])) != 0) {
+          ++i;
+        }
+        if (i >= raw.size() || raw[i] != '"') continue;  // non-literal name
+        const std::size_t end = raw.find('"', i + 1);
+        if (end == std::string::npos) continue;
+        const std::string name = raw.substr(i + 1, end - i - 1);
+        if (name.rfind("telea_", 0) != 0) continue;
+        if (!reported.insert(name).second) continue;
+        if (doc.find(name) == std::string::npos) {
+          findings.push_back(
+              {file, line_of(raw, pos), "metric-docs",
+               "metric " + name + " is not documented in " + opts.metrics_doc});
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_rng_discipline(const Options& opts) {
+  std::vector<Finding> findings;
+  static const struct {
+    const char* token;
+    const char* why;
+  } kBans[] = {
+      {"std::random_device", "non-deterministic entropy source"},
+      {"random_device", "non-deterministic entropy source"},
+      {"rand", "unseeded C RNG"},
+      {"srand", "unseeded C RNG"},
+      {"time", "wall-clock entropy"},
+  };
+  for (const std::string& file :
+       collect_sources(opts.root, opts.rng_scan_dirs)) {
+    if (exempt(file, opts.rng_exempt)) continue;
+    const std::string text =
+        strip_comments_and_strings(read_file(opts.root / file));
+    for (const auto& ban : kBans) {
+      const std::string_view token = ban.token;
+      for (std::size_t pos = find_word(text, token);
+           pos != std::string::npos; pos = find_word(text, token, pos + 1)) {
+        // Only *calls* are entropy: require an open paren after the token
+        // (so SimTime fields named `time` and the like stay legal).
+        std::size_t i = pos + token.size();
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+          ++i;
+        }
+        if (i >= text.size() || text[i] != '(') continue;
+        // Qualified names other than std:: (e.g. sim.time(...)) are member
+        // calls on our own types, not libc.
+        if (pos >= 1 && (text[pos - 1] == '.' || text[pos - 1] == '>')) {
+          continue;
+        }
+        if (pos >= 2 && text[pos - 1] == ':' && text[pos - 2] == ':') {
+          const std::size_t qual_end = pos - 2;
+          const std::size_t qual_start = [&] {
+            std::size_t s = qual_end;
+            while (s > 0 && is_word(text[s - 1])) --s;
+            return s;
+          }();
+          if (text.substr(qual_start, qual_end - qual_start) != "std") {
+            continue;
+          }
+        }
+        findings.push_back(
+            {file, line_of(text, pos), "rng",
+             std::string(token) + "() is banned (" + ban.why +
+                 "); derive randomness from the seeded sim RNG "
+                 "(src/util/rng.hpp) instead"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_field_widths(const Options& opts) {
+  std::vector<Finding> findings;
+  static const char* kCasts[] = {"static_cast<std::uint8_t>",
+                                 "static_cast<std::uint16_t>",
+                                 "static_cast<uint8_t>",
+                                 "static_cast<uint16_t>"};
+  for (const std::string& file :
+       collect_sources(opts.root, opts.field_scan_dirs)) {
+    if (exempt(file, opts.field_exempt)) continue;
+    const std::string text =
+        strip_comments_and_strings(read_file(opts.root / file));
+    for (const char* cast : kCasts) {
+      for (std::size_t pos = text.find(cast); pos != std::string::npos;
+           pos = text.find(cast, pos + 1)) {
+        findings.push_back(
+            {file, line_of(text, pos), "field-width",
+             std::string(cast) + " narrows a packet field unchecked; use "
+                                 "telea::field::u8/u16 (saturating) or "
+                                 "wrap_u8/wrap_u16 (modular) from "
+                                 "util/field.hpp"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> run_all(const Options& opts) {
+  std::vector<Finding> all = check_enum_strings(opts);
+  for (auto&& f : check_metric_docs(opts)) all.push_back(std::move(f));
+  for (auto&& f : check_rng_discipline(opts)) all.push_back(std::move(f));
+  for (auto&& f : check_field_widths(opts)) all.push_back(std::move(f));
+  return all;
+}
+
+}  // namespace telea::lint

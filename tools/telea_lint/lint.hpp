@@ -1,0 +1,77 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// telea_lint: repo-specific static analysis (docs/STATIC_ANALYSIS.md).
+///
+/// Four rule families, each encoding a convention the compiler cannot see:
+///   enum-string   every enumerator of a name-mapped enum has a case in its
+///                 *_name() switch, and the *_from_name() probe loop is
+///                 bounded on the enum's LAST enumerator (appending a value
+///                 without updating the loop silently breaks round-trips).
+///   metric-docs   every metric name registered in src/ is documented in
+///                 docs/OBSERVABILITY.md.
+///   rng           no rand()/srand()/time()/std::random_device outside the
+///                 seeded simulation RNG (src/util/rng.*) — any other entropy
+///                 source breaks run reproducibility.
+///   field-width   packet-field narrowing in src/proto, src/net, src/core
+///                 goes through the checked helpers in util/field.hpp, never
+///                 a raw static_cast<std::uint8_t|std::uint16_t>.
+///
+/// Standalone on purpose: no dependency on the simulator libraries, so the
+/// tool builds and runs even when the tree under analysis does not compile.
+namespace telea::lint {
+
+struct Finding {
+  std::string file;  // repo-root-relative path
+  std::size_t line = 0;
+  std::string rule;  // "enum-string" | "metric-docs" | "rng" | "field-width"
+  std::string message;
+};
+
+/// A name-mapped enum under the enum-string rule.
+struct EnumSpec {
+  std::string enum_name;     // e.g. "TraceEvent"
+  std::string header;        // file declaring the enum (root-relative)
+  std::string source;        // file holding the switch / probe loop
+  std::string name_fn;       // e.g. "trace_event_name"
+  std::string from_name_fn;  // "" = enum has no from-name probe loop
+};
+
+[[nodiscard]] std::vector<EnumSpec> default_enum_specs();
+
+struct Options {
+  std::filesystem::path root = ".";
+  std::vector<EnumSpec> enums = default_enum_specs();
+  std::string metrics_doc = "docs/OBSERVABILITY.md";
+  std::vector<std::string> metric_scan_dirs = {"src"};
+  std::vector<std::string> rng_scan_dirs = {"src", "examples", "bench",
+                                            "tools"};
+  std::vector<std::string> rng_exempt = {"src/util/rng.hpp",
+                                         "src/util/rng.cpp"};
+  std::vector<std::string> field_scan_dirs = {"src/proto", "src/net",
+                                              "src/core"};
+  std::vector<std::string> field_exempt = {};
+};
+
+/// Replaces comments and string/char literal contents with spaces, keeping
+/// every newline so reported line numbers match the original text.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view src);
+
+/// Enumerator names of `enum_name` as declared in `header_text`, in
+/// declaration order. Empty when the enum is not found.
+[[nodiscard]] std::vector<std::string> parse_enumerators(
+    std::string_view header_text, std::string_view enum_name);
+
+[[nodiscard]] std::vector<Finding> check_enum_strings(const Options& opts);
+[[nodiscard]] std::vector<Finding> check_metric_docs(const Options& opts);
+[[nodiscard]] std::vector<Finding> check_rng_discipline(const Options& opts);
+[[nodiscard]] std::vector<Finding> check_field_widths(const Options& opts);
+
+/// All rules, in the order above.
+[[nodiscard]] std::vector<Finding> run_all(const Options& opts);
+
+}  // namespace telea::lint

@@ -1,0 +1,69 @@
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "telea_lint/lint.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: telea_lint [--root DIR] [--rule NAME]\n"
+      << "  --root DIR   repository root to analyze (default: .)\n"
+      << "  --rule NAME  run one rule family only: enum-string | metric-docs\n"
+      << "               | rng | field-width (default: all)\n"
+      << "Exits 0 when the tree is clean, 1 when any rule fires,\n"
+      << "2 on bad invocation. Rule catalog: docs/STATIC_ANALYSIS.md\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telea::lint::Options opts;
+  std::string rule;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      rule = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "telea_lint: unknown argument '" << arg << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<telea::lint::Finding> findings;
+  if (rule.empty()) {
+    findings = telea::lint::run_all(opts);
+  } else if (rule == "enum-string") {
+    findings = telea::lint::check_enum_strings(opts);
+  } else if (rule == "metric-docs") {
+    findings = telea::lint::check_metric_docs(opts);
+  } else if (rule == "rng") {
+    findings = telea::lint::check_rng_discipline(opts);
+  } else if (rule == "field-width") {
+    findings = telea::lint::check_field_widths(opts);
+  } else {
+    std::cerr << "telea_lint: unknown rule '" << rule << "'\n";
+    usage();
+    return 2;
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "telea_lint: clean"
+              << (rule.empty() ? "" : (" (" + rule + ")")) << "\n";
+    return 0;
+  }
+  std::cout << "telea_lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
