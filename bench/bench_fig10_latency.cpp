@@ -48,7 +48,23 @@ int main(int argc, char** argv) {
       }
       table.row(std::move(row));
     }
-    emit_table(table, std::string("fig10_latency_") + (wifi ? "ch19" : "ch26"));
+    const std::string channel = wifi ? "ch19" : "ch26";
+    emit_table(table, "fig10_latency_" + channel);
+
+    // Distribution + energy summary: the axes deployments budget on.
+    TextTable summary({"protocol", "p50 (s)", "p90 (s)", "p99 (s)",
+                       "uJ/command"});
+    for (std::size_t pi = 0; pi < results.size(); ++pi) {
+      const auto& r = results[pi];
+      summary.row({protocol_name(protocols[pi]),
+                   TextTable::fmt(r.latency.quantile(0.5), 2),
+                   TextTable::fmt(r.latency.quantile(0.9), 2),
+                   TextTable::fmt(r.latency.quantile(0.99), 2),
+                   TextTable::fmt(r.energy_uj_per_command, 1)});
+    }
+    std::printf("\nlatency distribution + energy per command (%s)\n",
+                channel_name(wifi));
+    emit_table(summary, "fig10_latency_summary_" + channel);
   }
   std::printf("\npaper: Drip < Tele << RPL at every hop count\n");
   return 0;

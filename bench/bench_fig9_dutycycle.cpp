@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   const char* paper[] = {"5.01% / 5.42%", "3.83% / 4.22%", "lowest", "-"};
 
   TextTable table({"protocol", "ch26 duty", "ch19 duty", "paper (26/19)",
-                   "ch26 mA", "ch19 mA"});
+                   "ch26 mA", "ch19 mA", "p50 (s)", "p90 (s)", "p99 (s)",
+                   "ch26 uJ/cmd", "ch19 uJ/cmd"});
   for (std::size_t pi = 0; pi < 4; ++pi) {
     const auto clean = run_testbed(protocols[pi], false, opt);
     const auto noisy = run_testbed(protocols[pi], true, opt);
@@ -30,7 +31,12 @@ int main(int argc, char** argv) {
                TextTable::fmt_pct(clean.duty_cycle, 2),
                TextTable::fmt_pct(noisy.duty_cycle, 2), paper[pi],
                TextTable::fmt(clean.current_ma, 3),
-               TextTable::fmt(noisy.current_ma, 3)});
+               TextTable::fmt(noisy.current_ma, 3),
+               TextTable::fmt(clean.latency.quantile(0.5), 2),
+               TextTable::fmt(clean.latency.quantile(0.9), 2),
+               TextTable::fmt(clean.latency.quantile(0.99), 2),
+               TextTable::fmt(clean.energy_uj_per_command, 1),
+               TextTable::fmt(noisy.energy_uj_per_command, 1)});
   }
   emit_table(table, "fig9_dutycycle");
   std::printf("energy extension: average battery current per node (TelosB "

@@ -15,10 +15,14 @@
 // that file.
 //
 // Options:
-//   trace=FILE    JSONL trace to explain (skips the demo)
-//   seqno=N       explain only control packet N
-//   out=FILE      demo: where to export the JSONL (telea_trace.jsonl)
-//   seed=S        demo: RNG seed (3)
+//   trace=FILE      JSONL trace to explain (skips the demo)
+//   seqno=N         explain only control packet N
+//   node=N          only decision lines recorded at node N
+//   path-only=true  suppress decision lines, print the relay path summary
+//   deltas=true     per-line elapsed time since the previous line instead
+//                   of absolute timestamps
+//   out=FILE        demo: where to export the JSONL (telea_trace.jsonl)
+//   seed=S          demo: RNG seed (3)
 
 #include <cstdio>
 #include <set>
@@ -149,10 +153,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  ExplainOptions opts;
+  if (cfg.has("node")) {
+    opts.node = static_cast<NodeId>(cfg.get_int("node"));
+  }
+  opts.path_only = cfg.get_bool("path-only", false);
+  opts.deltas = cfg.get_bool("deltas", false);
+
   std::printf("%s: %zu records, %zu control packet(s)\n\n", path.c_str(),
               records->size(), seqnos.size());
   for (const std::uint32_t seqno : seqnos) {
-    std::fputs(explain_control(*records, seqno).c_str(), stdout);
+    std::fputs(explain_control(*records, seqno, opts).c_str(), stdout);
     std::fputc('\n', stdout);
   }
   return 0;

@@ -25,6 +25,9 @@
 //   trace=FILE          export the decision trace as JSONL to FILE
 //                       (feed it to telea_explain to reconstruct packets)
 //   metrics=DIR         write metrics.prom + metrics.json into DIR
+//   report=DIR          span report: write report_sim.json (per-command
+//                       latency/energy decomposition) + trace.perfetto.json
+//                       into DIR (implies tracing; see docs/OBSERVABILITY.md)
 //   profile=false       collect + print simulator self-profiling stats
 //   invariants=false    runtime protocol invariant checkpoints; prints a
 //                       summary and exits 3 on any violation (rule catalog:
@@ -94,6 +97,13 @@ std::optional<Topology> parse_topology(const Config& cfg, std::uint64_t seed) {
   return std::nullopt;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 void print_grouped(const char* title, const GroupedStats& g, bool pct,
                    const std::string& csv_dir, const std::string& csv_name) {
   TextTable table({"hop count", "samples", "value"});
@@ -144,6 +154,11 @@ int main(int argc, char** argv) {
                  "error: unknown topology (indoor|tight|sparse|random|line)\n");
     return 2;
   }
+  // nodes/side/spacing are read only by some topologies; touch them so a
+  // valid-but-inapplicable key doesn't trip the unknown-option check below.
+  (void)cfg.get_int("nodes", 40);
+  (void)cfg.get_double("side", 120.0);
+  (void)cfg.get_double("spacing", 22.0);
 
   ControlExperimentConfig experiment;
   experiment.network.topology = *topology;
@@ -161,6 +176,7 @@ int main(int argc, char** argv) {
   const std::string dot_path = cfg.get_string("dot");
   const std::string trace_path = cfg.get_string("trace");
   const std::string metrics_dir = cfg.get_string("metrics");
+  const std::string report_dir = cfg.get_string("report");
   const bool profile = cfg.get_bool("profile", false);
   const bool invariants = cfg.get_bool("invariants", false);
   const bool failfast = cfg.get_bool("failfast", false);
@@ -171,13 +187,13 @@ int main(int argc, char** argv) {
   const int reboot_node = static_cast<int>(cfg.get_int("reboot", -1));
   const SimTime duration = experiment.duration;
 
-  experiment.on_warmed_up = [dot_path, trace_path, profile, invariants,
-                             failfast, churn, downtime, noise_dbm, reboot_node,
-                             duration, seed](Network& net) {
+  experiment.on_warmed_up = [dot_path, trace_path, report_dir, profile,
+                             invariants, failfast, churn, downtime, noise_dbm,
+                             reboot_node, duration, seed](Network& net) {
     if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
       TELEA_WARN("telea_sim") << "could not write " << dot_path;
     }
-    if (!trace_path.empty()) net.enable_tracing();
+    if (!trace_path.empty() || !report_dir.empty()) net.enable_tracing();
     if (profile) net.sim().set_profiling(true);
     if (invariants) {
       InvariantConfig icfg;
@@ -216,7 +232,7 @@ int main(int argc, char** argv) {
     }
   };
   const auto invariant_violations = std::make_shared<std::uint64_t>(0);
-  experiment.on_finished = [trace_path, metrics_dir, profile,
+  experiment.on_finished = [trace_path, metrics_dir, report_dir, profile,
                             invariant_violations](Network& net) {
     if (InvariantEngine* inv = net.invariants()) {
       inv->final_audit();
@@ -254,13 +270,53 @@ int main(int argc, char** argv) {
                     prom.c_str(), json.c_str());
       }
     }
+    if (!report_dir.empty()) {
+      const std::vector<CommandSpan> spans = net.command_spans();
+      const SpanEnergyConfig energy = net.span_energy_config();
+      std::error_code ec;
+      std::filesystem::create_directories(report_dir, ec);
+      const std::string report_path = report_dir + "/report_sim.json";
+      const std::string perfetto_path = report_dir + "/trace.perfetto.json";
+      if (ec ||
+          !write_text_file(report_path,
+                           render_report_json(spans, energy, "sim")) ||
+          !write_text_file(perfetto_path, render_perfetto_json(spans))) {
+        TELEA_WARN("telea_sim") << "could not write report into " << report_dir;
+      } else {
+        std::printf("report: %zu command spans -> %s, %s\n", spans.size(),
+                    report_path.c_str(), perfetto_path.c_str());
+        const std::size_t failures = count_reconcile_failures(spans);
+        if (failures > 0) {
+          std::fprintf(stderr,
+                       "telea_sim: %zu span(s) failed segment-sum "
+                       "reconciliation\n",
+                       failures);
+        }
+      }
+    }
     if (profile) {
       std::printf("\nsimulator profile:\n%s", net.sim().profile().render().c_str());
     }
   };
 
-  for (const auto& key : cfg.unused_keys()) {
-    TELEA_WARN("telea_sim") << "unknown option '" << key << "' ignored";
+  // A typo'd option silently falling back to its default would run (and
+  // report on) the wrong experiment — reject instead.
+  const auto unknown = cfg.unused_keys();
+  if (!unknown.empty()) {
+    for (const auto& key : unknown) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", key.c_str());
+    }
+    std::fprintf(
+        stderr,
+        "usage: telea_sim [config=FILE] [topology=NAME] [nodes=N] [side=M]\n"
+        "                 [spacing=M] [protocol=NAME] [wifi=BOOL] [seed=N]\n"
+        "                 [warmup=MIN] [minutes=MIN] [interval=S] [ipi=S]\n"
+        "                 [csv=DIR] [dot=FILE] [trace=FILE] [metrics=DIR]\n"
+        "                 [report=DIR] [profile=BOOL] [invariants=BOOL]\n"
+        "                 [failfast=BOOL] [log=LEVEL] [churn=N] [downtime=S]\n"
+        "                 [noise=DBM] [reboot=NODE]\n"
+        "(see the header of examples/telea_sim.cpp for defaults)\n");
+    return 2;
   }
 
   std::printf("telea_sim: %s, %zu nodes, protocol %s, %s, seed %llu\n",

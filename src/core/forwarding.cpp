@@ -153,7 +153,7 @@ AckDecision Forwarding::handle_control(NodeId from,
       st.done = true;
       msg::ControlPacket arrived = packet;
       arrived.hops_so_far = field::u8(packet.hops_so_far + 1);
-      deliver(arrived, direct);
+      deliver(from, arrived, direct);
     }
     return AckDecision::kAcceptAndAck;
   }
@@ -304,8 +304,12 @@ void Forwarding::note_duplicate(NodeId from, const msg::ControlPacket& packet) {
   st.defer_deadline = sim_->now() + config_.claim_defer;
 }
 
-void Forwarding::deliver(const msg::ControlPacket& packet, bool direct) {
+void Forwarding::deliver(NodeId from, const msg::ControlPacket& packet,
+                         bool direct) {
   ++stats_.deliveries;
+  TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(),
+                    TraceEvent::kControlDelivered, packet.seqno,
+                    from == mac_->id() ? 0 : from);
   if (auditor_ != nullptr) {
     auditor_->on_final_delivery(mac_->id(), packet, direct);
   }

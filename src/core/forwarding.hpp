@@ -229,7 +229,7 @@ class Forwarding {
   [[nodiscard]] bool neighbor_can_progress(const msg::ControlPacket& p) const;
 
   void claim(NodeId from, const msg::ControlPacket& packet);
-  void deliver(const msg::ControlPacket& packet, bool direct);
+  void deliver(NodeId from, const msg::ControlPacket& packet, bool direct);
   void forward(std::uint32_t seqno);
   void on_forward_result(std::uint32_t seqno, const SendResult& result);
   void backtrack(std::uint32_t seqno, TraceReason reason);

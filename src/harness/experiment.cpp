@@ -229,6 +229,7 @@ ControlExperimentResult run_control_experiment(
       ++result.delivered;
       result.latency_by_hop.add(
           rec.dest_hops, to_seconds(rec.delivered_at - rec.sent_at));
+      result.latency.add(to_seconds(rec.delivered_at - rec.sent_at));
     }
     if (e2e_acked.contains(seqno)) ++result.e2e_acked;
   }
@@ -236,6 +237,11 @@ ControlExperimentResult run_control_experiment(
       result.sent == 0 ? 0.0
                        : static_cast<double>(control_ops.size()) /
                              static_cast<double>(result.sent);
+  result.energy_uj_per_command =
+      result.sent == 0
+          ? 0.0
+          : net.average_energy_mj() * static_cast<double>(net.size()) *
+                1000.0 / static_cast<double>(result.sent);
   TELEA_INFO("harness.exp") << "done: " << result.delivered << "/"
                             << result.sent << " delivered, "
                             << result.e2e_acked << " e2e-acked, "
@@ -250,7 +256,7 @@ ControlExperimentResult merge_results(
   if (runs.empty()) return merged;
   merged.protocol = runs.front().protocol;
   merged.wifi = runs.front().wifi;
-  double tx = 0, duty = 0, current = 0;
+  double tx = 0, duty = 0, current = 0, energy_uj = 0;
   for (const auto& r : runs) {
     merged.sent += r.sent;
     merged.delivered += r.delivered;
@@ -258,13 +264,18 @@ ControlExperimentResult merge_results(
     merged.pdr_by_hop.merge(r.pdr_by_hop);
     merged.latency_by_hop.merge(r.latency_by_hop);
     merged.athx_by_hop.merge(r.athx_by_hop);
+    merged.latency.merge(r.latency);
     tx += r.tx_per_control;
     duty += r.duty_cycle;
     current += r.current_ma;
+    // Per-command energy is a ratio of totals: weight by commands sent.
+    energy_uj += r.energy_uj_per_command * static_cast<double>(r.sent);
   }
   merged.tx_per_control = tx / static_cast<double>(runs.size());
   merged.duty_cycle = duty / static_cast<double>(runs.size());
   merged.current_ma = current / static_cast<double>(runs.size());
+  merged.energy_uj_per_command =
+      merged.sent == 0 ? 0.0 : energy_uj / static_cast<double>(merged.sent);
   return merged;
 }
 

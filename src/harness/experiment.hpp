@@ -46,6 +46,14 @@ struct ControlExperimentResult {
   /// Accumulated transmission hop count of received control packets vs the
   /// receiver's CTP hop count (Fig. 8) — recorded at every relay/adopter.
   GroupedStats athx_by_hop;
+  /// Pooled end-to-end latency samples (seconds) of delivered packets —
+  /// the distribution behind p50/p90/p99 in the bench artifacts.
+  Cdf latency;
+  /// Whole-network radio energy over the measurement window divided by
+  /// control packets sent (µJ/command) under the deployment's energy model.
+  /// Includes the concurrent data-collection load: it is the network-level
+  /// price of keeping the control plane available, not a per-span sum.
+  double energy_uj_per_command = 0.0;
   /// Network-wide control-plane transmissions per control packet
   /// (Table III): LPL send operations of control-class frames / sent.
   double tx_per_control = 0.0;

@@ -327,10 +327,32 @@ double Network::average_duty_cycle() const {
   return sum / static_cast<double>(nodes_.size());
 }
 
-double Network::average_energy_mj() const {
-  EnergyModelConfig cfg;
+EnergyModelConfig Network::energy_config() const noexcept {
+  EnergyModelConfig cfg = config_.energy;
   cfg.tx_power_dbm = config_.topology.tx_power_dbm;
-  const EnergyModel model(cfg);
+  return cfg;
+}
+
+SpanEnergyConfig Network::span_energy_config() const {
+  const EnergyModelConfig model = energy_config();
+  SpanEnergyConfig cfg;
+  cfg.supply_volts = model.supply_volts;
+  cfg.tx_current_ma = EnergyModel::tx_current_ma(model.tx_power_dbm);
+  cfg.rx_current_ma = model.rx_current_ma;
+  // The exact PHY airtime of one LPL copy of a control frame.
+  Frame probe;
+  probe.payload = msg::ControlPacket{};
+  cfg.copy_airtime_s = to_seconds(Cc2420Phy::airtime(wire_size_bytes(probe)));
+  return cfg;
+}
+
+std::vector<CommandSpan> Network::command_spans() const {
+  if (tracer_ == nullptr) return {};
+  return build_command_spans(tracer_->snapshot());
+}
+
+double Network::average_energy_mj() const {
+  const EnergyModel model(energy_config());
   double sum = 0;
   for (const auto& n : nodes_) {
     sum += model.energy_mj(n->mac().radio_on_time(), n->mac().tx_airtime(),
@@ -340,9 +362,7 @@ double Network::average_energy_mj() const {
 }
 
 double Network::average_current_ma() const {
-  EnergyModelConfig cfg;
-  cfg.tx_power_dbm = config_.topology.tx_power_dbm;
-  const EnergyModel model(cfg);
+  const EnergyModel model(energy_config());
   double sum = 0;
   for (const auto& n : nodes_) {
     sum += model.average_current_ma(n->mac().radio_on_time(),

@@ -18,7 +18,9 @@
 #include "radio/noise.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stats/energy.hpp"
 #include "stats/metrics.hpp"
+#include "stats/spans.hpp"
 #include "stats/trace.hpp"
 #include "topo/topology.hpp"
 
@@ -34,6 +36,10 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   ControlProtocol protocol = ControlProtocol::kReTele;
   bool wifi_interference = false;  // the paper's channel 19 vs 26 contrast
+
+  /// Radio energy model for duty-cycle -> mJ conversion and per-command
+  /// span attribution; tx_power_dbm is overridden from the topology.
+  EnergyModelConfig energy{};
 
   LplConfig lpl{};
   CtpConfig ctp{};
@@ -184,6 +190,19 @@ class Network {
 
   /// Mean per-node battery current (mA) since the last accounting reset.
   [[nodiscard]] double average_current_ma() const;
+
+  /// This deployment's energy model (config_.energy with the topology's TX
+  /// power applied) — what the averages above and span attribution use.
+  [[nodiscard]] EnergyModelConfig energy_config() const noexcept;
+
+  /// Span-attribution energy model: the deployment's currents/voltage plus
+  /// the exact PHY airtime of one LPL control-frame copy, ready to hand to
+  /// attribute_energy / collect_span_metrics / telea_report.
+  [[nodiscard]] SpanEnergyConfig span_energy_config() const;
+
+  /// Command spans reconstructed from the live tracer (empty when tracing
+  /// was never enabled).
+  [[nodiscard]] std::vector<CommandSpan> command_spans() const;
 
   /// Starts periodic data-collection traffic on every non-sink node.
   void start_data_collection(SimTime ipi);

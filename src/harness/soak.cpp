@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "harness/faults.hpp"
+#include "stats/spans.hpp"
 #include "topo/topology.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -81,7 +82,10 @@ void emit_arm(std::ostringstream& out, const char* key,
       << "      \"invariant_violations\": " << r.invariant_violations << ",\n"
       << "      \"invariant_checkpoints\": " << r.invariant_checkpoints
       << ",\n"
-      << "      \"claims_audited\": " << r.claims_audited << "\n"
+      << "      \"claims_audited\": " << r.claims_audited << ",\n"
+      << "      \"command_spans\": " << r.command_spans << ",\n"
+      << "      \"span_reconcile_failures\": " << r.span_reconcile_failures
+      << "\n"
       << "    }";
 }
 
@@ -119,6 +123,9 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
   };
 
   if (cfg.invariants) net.enable_invariants();
+  // Span reconciliation needs the command trajectories to survive the whole
+  // window, so size the ring well above the default.
+  if (cfg.spans) net.enable_tracing(1 << 20);
 
   net.start();
   net.start_data_collection(cfg.data_ipi);
@@ -178,6 +185,16 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
           ? 0.0
           : static_cast<double>(control_ops.size()) /
                 static_cast<double>(result.commands);
+  if (cfg.spans) {
+    const auto spans = net.command_spans();
+    result.command_spans = spans.size();
+    result.span_reconcile_failures = count_reconcile_failures(spans);
+    if (result.span_reconcile_failures > 0) {
+      TELEA_WARN("harness.soak")
+          << result.span_reconcile_failures << "/" << result.command_spans
+          << " spans failed segment-sum reconciliation";
+    }
+  }
   if (InvariantEngine* inv = net.invariants()) {
     inv->final_audit();
     result.invariant_violations = inv->violations().size();

@@ -43,6 +43,12 @@ struct ChurnSoakConfig {
   /// must come out clean: any violation means fault handling corrupted
   /// protocol state rather than merely losing packets.
   bool invariants = true;
+
+  /// Trace the run and reconstruct command spans (src/stats/spans.*) at the
+  /// end: every delivered span's segment decomposition must reconcile with
+  /// its end-to-end latency even under churn — the observability analogue of
+  /// the invariant engine's "faults lose packets, never corrupt state".
+  bool spans = true;
 };
 
 struct ChurnSoakResult {
@@ -59,6 +65,9 @@ struct ChurnSoakResult {
   std::uint64_t invariant_violations = 0;
   std::uint64_t invariant_checkpoints = 0;
   std::uint64_t claims_audited = 0;
+  // Span engine verdict (cfg.spans): reconcile failures must stay 0.
+  std::size_t command_spans = 0;
+  std::size_t span_reconcile_failures = 0;
 
   [[nodiscard]] double delivery_ratio() const noexcept {
     return commands == 0

@@ -243,11 +243,18 @@ void LplMac::finish_send(bool success, NodeId acker) {
   // A control packet that swept every wake phase unacknowledged: the
   // link-layer evidence a forwarding retry or backtrack is built on.
   // (Cancelled sends are suppressions — the forwarding plane records those.)
-  if (!success && !done.cancelled) {
+  if (!done.cancelled) {
     if (const auto* cp = std::get_if<msg::ControlPacket>(&done.frame.payload)) {
-      TELEA_TRACE_EVENT(tracer_, sim_->now(), id_, TraceEvent::kSuppress,
-                        cp->seqno, cp->expected_relay,
-                        TraceReason::kRetryExhausted);
+      if (success) {
+        // Span-engine boundary: the first kControlTx copy to this mark is
+        // the hop's LPL wakeup wait + retransmission airtime.
+        TELEA_TRACE_EVENT(tracer_, sim_->now(), id_,
+                          TraceEvent::kControlTxDone, cp->seqno, acker);
+      } else {
+        TELEA_TRACE_EVENT(tracer_, sim_->now(), id_, TraceEvent::kSuppress,
+                          cp->seqno, cp->expected_relay,
+                          TraceReason::kRetryExhausted);
+      }
     }
   }
   if (done.done) {

@@ -63,6 +63,26 @@ std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
   return total;
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i];
+    if (static_cast<double>(cum + in_bucket) >= rank && in_bucket > 0) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double into =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  // Rank fell in the +Inf overflow bucket: the best bounded answer.
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::string MetricsRegistry::instance_key(const std::string& name,
                                           const MetricLabels& labels) {
   std::string key = name;

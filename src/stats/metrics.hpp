@@ -58,6 +58,11 @@ class Histogram {
   }
   /// Cumulative count of observations <= bounds()[i].
   [[nodiscard]] std::uint64_t cumulative(std::size_t i) const noexcept;
+  /// Estimated value at quantile q in [0,1] (Prometheus histogram_quantile
+  /// semantics: linear interpolation inside the bucket holding the rank;
+  /// ranks landing in the +Inf bucket clamp to the highest finite bound).
+  /// Returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
 

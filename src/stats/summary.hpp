@@ -104,6 +104,12 @@ class Cdf {
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
 
+  void merge(const Cdf& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
  private:
   void sort() const {
     if (!sorted_) {

@@ -26,6 +26,8 @@ const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kNoiseBurst: return "noise_burst";
     case TraceEvent::kReboot: return "reboot";
     case TraceEvent::kInvariantViolation: return "invariant_violation";
+    case TraceEvent::kControlTxDone: return "control_tx_done";
+    case TraceEvent::kControlDelivered: return "control_delivered";
   }
   return "?";
 }
@@ -47,7 +49,7 @@ const char* trace_reason_name(TraceReason r) noexcept {
 
 std::optional<TraceEvent> trace_event_from_name(std::string_view name) noexcept {
   for (std::uint8_t i = 0;
-       i <= static_cast<std::uint8_t>(TraceEvent::kInvariantViolation); ++i) {
+       i <= static_cast<std::uint8_t>(TraceEvent::kControlDelivered); ++i) {
     const auto e = static_cast<TraceEvent>(i);
     if (name == trace_event_name(e)) return e;
   }
@@ -224,6 +226,11 @@ std::optional<std::vector<TraceRecord>> load_trace_jsonl(
 
 std::string explain_control(const std::vector<TraceRecord>& records,
                             std::uint32_t seqno) {
+  return explain_control(records, seqno, ExplainOptions{});
+}
+
+std::string explain_control(const std::vector<TraceRecord>& records,
+                            std::uint32_t seqno, const ExplainOptions& opts) {
   std::string out;
   char buf[192];
   std::snprintf(buf, sizeof(buf), "control seqno %u\n", seqno);
@@ -243,12 +250,21 @@ std::string explain_control(const std::vector<TraceRecord>& records,
       case TraceEvent::kBacktrack:
       case TraceEvent::kRedirect:
       case TraceEvent::kAckPath:
+      case TraceEvent::kControlTxDone:
+      case TraceEvent::kControlDelivered:
         relevant.push_back(r);
         break;
       default:
         break;
     }
   }
+  const bool any_for_seqno = !relevant.empty();
+  if (opts.node.has_value()) {
+    std::erase_if(relevant,
+                  [&](const TraceRecord& r) { return r.node != *opts.node; });
+  }
+  if (opts.path_only) relevant.clear();
+  SimTime prev_time = relevant.empty() ? 0 : relevant.front().time;
   for (std::size_t i = 0; i < relevant.size();) {
     const TraceRecord& r = relevant[i];
     std::size_t run = 1;
@@ -268,11 +284,20 @@ std::string explain_control(const std::vector<TraceRecord>& records,
       case TraceEvent::kBacktrack: verb = "backtrack, hand task to"; break;
       case TraceEvent::kRedirect: verb = "redirect, detour via"; break;
       case TraceEvent::kAckPath: verb = "ack hop, next"; break;
+      case TraceEvent::kControlTxDone: verb = "sweep done, acked by"; break;
+      case TraceEvent::kControlDelivered: verb = "delivered, arrived from"; break;
       default: verb = "?"; break;
     }
-    std::snprintf(buf, sizeof(buf), "  %10.6fs  node %-4u %s %llu",
-                  to_seconds(r.time), r.node, verb,
-                  static_cast<unsigned long long>(r.b));
+    if (opts.deltas) {
+      std::snprintf(buf, sizeof(buf), "  +%9.6fs  node %-4u %s %llu",
+                    to_seconds(r.time - prev_time), r.node, verb,
+                    static_cast<unsigned long long>(r.b));
+      prev_time = r.time;
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %10.6fs  node %-4u %s %llu",
+                    to_seconds(r.time), r.node, verb,
+                    static_cast<unsigned long long>(r.b));
+    }
     out += buf;
     if (run > 1) {
       std::snprintf(buf, sizeof(buf), "  (x%zu)", run);
@@ -286,9 +311,12 @@ std::string explain_control(const std::vector<TraceRecord>& records,
     out += "\n";
     i += run;
   }
-  if (relevant.empty()) {
+  if (!any_for_seqno) {
     out += "  (no records for this seqno)\n";
     return out;
+  }
+  if (relevant.empty() && !opts.path_only) {
+    out += "  (no records for this seqno at the selected node)\n";
   }
 
   // Relay path summary: kControlTx transmissions with adjacent repeats

@@ -43,6 +43,14 @@ enum class TraceEvent : std::uint8_t {
   kReboot,           // node rebooted with all protocol state wiped
   kInvariantViolation,  // protocol invariant broke at this node; a = rule id
                         // (InvariantRule), b = the peer/seqno the rule names
+  kControlTxDone,    // sender's LPL sweep for a control frame ended with an
+                     // ack; a = seqno, b = the acking node. The gap between
+                     // the first kControlTx copy and this marks LPL wakeup
+                     // wait + retransmission airtime at this hop.
+  kControlDelivered,  // control packet consumed at its destination;
+                      // a = seqno, b = the node it arrived from (0 when the
+                      // destination was the origin itself). Closes the
+                      // command span in the span engine.
 };
 
 /// Why a decision event fired. kNone for events that carry no reason.
@@ -142,10 +150,22 @@ class Tracer {
 [[nodiscard]] std::optional<std::vector<TraceRecord>> load_trace_jsonl(
     const std::string& path, std::size_t* skipped = nullptr);
 
+/// Rendering filters for explain_control (telea_explain's node=/path-only=/
+/// deltas= options map straight onto these fields).
+struct ExplainOptions {
+  std::optional<NodeId> node;  // only decision lines from this node
+  bool path_only = false;      // suppress decision lines, keep the path summary
+  bool deltas = false;         // elapsed time since the previous printed line
+                               // instead of absolute timestamps
+};
+
 /// The engine behind Tracer::explain, usable on records re-loaded from a
 /// JSONL export (tools reconstruct trajectories without the live Tracer).
 [[nodiscard]] std::string explain_control(
     const std::vector<TraceRecord>& records, std::uint32_t seqno);
+[[nodiscard]] std::string explain_control(
+    const std::vector<TraceRecord>& records, std::uint32_t seqno,
+    const ExplainOptions& opts);
 
 }  // namespace telea
 

@@ -44,6 +44,13 @@ TEST(ChurnSoak, RetriesDeliverAtLeast95PercentAndBeatFireAndForget) {
   EXPECT_EQ(with_retries.invariant_violations, 0u);
   EXPECT_EQ(without.invariant_violations, 0u);
 
+  // Span reconciliation must hold under churn too: every delivered command
+  // span's latency decomposition tiles its end-to-end latency exactly, no
+  // matter how many backtracks/detours/retries the faults provoked.
+  EXPECT_GT(with_retries.command_spans, 0u);
+  EXPECT_EQ(with_retries.span_reconcile_failures, 0u);
+  EXPECT_EQ(without.span_reconcile_failures, 0u);
+
   EXPECT_GE(with_retries.delivery_ratio(), 0.95)
       << with_retries.acked << "/" << with_retries.commands << " acked, "
       << with_retries.gave_up << " gave up";

@@ -58,6 +58,36 @@ TEST(Metrics, HistogramBucketsArePrometheusShaped) {
   EXPECT_EQ(h.cumulative(2), 0u);
 }
 
+TEST(Metrics, HistogramQuantileInterpolatesInsideBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("telea_q_seconds", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 8; ++i) h.observe(1.5);  // all in (1, 2]
+  // Rank q*8 lands in the (1,2] bucket; interpolation walks it linearly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+
+  h.observe(1.5);
+  h.observe(8.0);  // one overflow observation
+  // A rank inside +Inf clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+
+  Histogram& empty = reg.histogram("telea_q_empty", {1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, HistogramQuantileSpansMultipleBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("telea_q_multi", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // (0, 1]
+  h.observe(0.5);
+  h.observe(1.5);   // (1, 2]
+  h.observe(3.0);   // (2, 4]
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);  // rank 1 of 2 in the first bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 2.0);  // rank 3 exhausts bucket two
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
 TEST(Metrics, PrometheusRenderingIsValidExposition) {
   MetricsRegistry reg;
   reg.describe("telea_ops_total", "operations performed");

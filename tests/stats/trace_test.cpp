@@ -69,8 +69,8 @@ TEST(Tracer, CsvRendering) {
 }
 
 TEST(Tracer, NamesRoundTripThroughLookups) {
-  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(TraceEvent::kAckPath);
-       ++i) {
+  for (std::uint8_t i = 0;
+       i <= static_cast<std::uint8_t>(TraceEvent::kControlDelivered); ++i) {
     const auto e = static_cast<TraceEvent>(i);
     const auto back = trace_event_from_name(trace_event_name(e));
     ASSERT_TRUE(back.has_value());
@@ -147,6 +147,80 @@ TEST(TracerRing, SnapshotStaysChronologicalAcrossManyWraps) {
   EXPECT_EQ(snap[2].a, 10u);
   EXPECT_LT(snap[0].time, snap[1].time);
   EXPECT_LT(snap[1].time, snap[2].time);
+}
+
+TEST(TracerRing, ExplainSurvivesPartialEviction) {
+  // A long run wraps the ring past a command's early records: explain must
+  // render the surviving tail, not crash or claim the seqno never existed.
+  Tracer t(4);
+  t.record(1000000, 0, TraceEvent::kControlTx, 7, 1);
+  t.record(1100000, 1, TraceEvent::kForwardDecision, 7, 0,
+           TraceReason::kExpectedRelay);
+  t.record(1200000, 1, TraceEvent::kControlTx, 7, 2);
+  t.record(1300000, 2, TraceEvent::kForwardDecision, 7, 1,
+           TraceReason::kExpectedRelay);
+  t.record(1400000, 2, TraceEvent::kControlTx, 7, 3);
+  t.record(1500000, 2, TraceEvent::kBacktrack, 7, 1,
+           TraceReason::kRetryExhausted);
+  EXPECT_EQ(t.dropped(), 2u);  // the sink's tx and node 1's claim are gone
+  const std::string text = t.explain(7);
+  EXPECT_NE(text.find("control seqno 7"), std::string::npos);
+  EXPECT_NE(text.find("backtrack"), std::string::npos);
+  // The reconstructed relay path starts at the first *surviving* node.
+  EXPECT_NE(text.find("relay path: 1 2"), std::string::npos);
+  // A fully evicted seqno still answers gracefully.
+  EXPECT_NE(t.explain(99).find("no records"), std::string::npos);
+}
+
+TEST(Tracer, ExplainOptionsFilterByNode) {
+  Tracer t(16);
+  t.record(1000000, 0, TraceEvent::kControlTx, 5, 1);
+  t.record(1100000, 1, TraceEvent::kForwardDecision, 5, 0,
+           TraceReason::kExpectedRelay);
+  t.record(1200000, 1, TraceEvent::kControlTx, 5, 2);
+  const auto records = t.snapshot();
+
+  ExplainOptions opts;
+  opts.node = 1;
+  const std::string text = explain_control(records, 5, opts);
+  EXPECT_EQ(text.find("node 0"), std::string::npos);
+  EXPECT_NE(text.find("node 1"), std::string::npos);
+  // The path summary still reflects the whole trajectory.
+  EXPECT_NE(text.find("relay path: 0 1"), std::string::npos);
+
+  opts.node = 9;  // a node that never touched the packet
+  const std::string empty = explain_control(records, 5, opts);
+  EXPECT_NE(empty.find("no records for this seqno at the selected node"),
+            std::string::npos);
+  EXPECT_NE(empty.find("relay path: 0 1"), std::string::npos);
+}
+
+TEST(Tracer, ExplainOptionsPathOnlyAndDeltas) {
+  Tracer t(16);
+  t.record(1000000, 0, TraceEvent::kControlTx, 5, 1);
+  t.record(1100000, 1, TraceEvent::kForwardDecision, 5, 0,
+           TraceReason::kExpectedRelay);
+  t.record(1200000, 1, TraceEvent::kControlTx, 5, 2);
+  const auto records = t.snapshot();
+
+  ExplainOptions path_only;
+  path_only.path_only = true;
+  const std::string path = explain_control(records, 5, path_only);
+  EXPECT_NE(path.find("control seqno 5"), std::string::npos);
+  EXPECT_NE(path.find("relay path: 0 1"), std::string::npos);
+  EXPECT_EQ(path.find("transmit"), std::string::npos);
+
+  ExplainOptions deltas;
+  deltas.deltas = true;
+  const std::string rel = explain_control(records, 5, deltas);
+  // First line anchors at +0, the claim shows its 0.1 s offset.
+  EXPECT_NE(rel.find("+ 0.000000s"), std::string::npos);
+  EXPECT_NE(rel.find("+ 0.100000s"), std::string::npos);
+  EXPECT_EQ(rel.find("1000000"), std::string::npos);
+
+  // Default options render byte-identically to the two-argument overload.
+  EXPECT_EQ(explain_control(records, 5, ExplainOptions{}),
+            explain_control(records, 5));
 }
 
 TEST(Tracer, ControlPathKeepsBacktrackLoops) {

@@ -190,6 +190,104 @@ TEST_F(LintTreeTest, MetricDocsRuleFiresOnUndocumentedMetric) {
   EXPECT_TRUE(check_metric_docs(opts).empty());
 }
 
+// --- trace-docs rule --------------------------------------------------------
+
+namespace {
+
+const char* kTraceHeader =
+    "enum class TraceEvent : std::uint8_t {\n"
+    "  kTransmit,\n"
+    "  kKill,\n"
+    "  kRevive,\n"
+    "};\n";
+
+const char* kTraceSource =
+    "const char* trace_event_name(TraceEvent e) {\n"
+    "  switch (e) {\n"
+    "    case TraceEvent::kTransmit: return \"transmit\";\n"
+    "    case TraceEvent::kKill: return \"kill\";\n"
+    "    case TraceEvent::kRevive: return \"revive\";\n"
+    "  }\n"
+    "  return \"?\";\n"
+    "}\n";
+
+const char* kTraceDocClean =
+    "Event taxonomy:\n"
+    "\n"
+    "| event             | `a` | emitted by |\n"
+    "|-------------------|-----|------------|\n"
+    "| `transmit`        | x   | phy        |\n"
+    "| `kill` / `revive` | —   | faults     |\n";
+
+}  // namespace
+
+TEST_F(LintTreeTest, TraceDocsRuleAcceptsAMatchingTable) {
+  Options opts;
+  opts.root = root_;
+  write("src/stats/trace.hpp", kTraceHeader);
+  write("src/stats/trace.cpp", kTraceSource);
+  write("docs/OBSERVABILITY.md", kTraceDocClean);
+  EXPECT_TRUE(check_trace_docs(opts).empty());
+}
+
+TEST_F(LintTreeTest, TraceDocsRuleFiresOnUndocumentedEvent) {
+  Options opts;
+  opts.root = root_;
+  // A new enumerator + name string ships without a doc table row.
+  write("src/stats/trace.hpp",
+        "enum class TraceEvent : std::uint8_t {\n"
+        "  kTransmit,\n"
+        "  kKill,\n"
+        "  kRevive,\n"
+        "  kReboot,\n"
+        "};\n");
+  write("src/stats/trace.cpp",
+        std::string(kTraceSource) +
+            "// appended name mapping\n"
+            "const char* extra(TraceEvent e) {\n"
+            "  switch (e) {\n"
+            "    case TraceEvent::kReboot: return \"reboot\";\n"
+            "  }\n"
+            "  return \"?\";\n"
+            "}\n");
+  write("docs/OBSERVABILITY.md", kTraceDocClean);
+
+  const auto findings = check_trace_docs(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "trace-docs");
+  EXPECT_EQ(findings[0].file, "src/stats/trace.hpp");
+  EXPECT_EQ(findings[0].line, 5u);  // kReboot's declaration line
+  EXPECT_NE(findings[0].message.find("reboot"), std::string::npos);
+}
+
+TEST_F(LintTreeTest, TraceDocsRuleFiresOnStaleDocRow) {
+  Options opts;
+  opts.root = root_;
+  write("src/stats/trace.hpp", kTraceHeader);
+  write("src/stats/trace.cpp", kTraceSource);
+  write("docs/OBSERVABILITY.md",
+        std::string(kTraceDocClean) + "| `vanished_event`  | —   | nobody |\n");
+
+  const auto findings = check_trace_docs(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "trace-docs");
+  EXPECT_EQ(findings[0].file, "docs/OBSERVABILITY.md");
+  EXPECT_EQ(findings[0].line, 7u);  // the appended row
+  EXPECT_NE(findings[0].message.find("vanished_event"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("stale"), std::string::npos);
+}
+
+TEST_F(LintTreeTest, TraceDocsRuleReportsAMissingTable) {
+  Options opts;
+  opts.root = root_;
+  write("src/stats/trace.hpp", kTraceHeader);
+  write("src/stats/trace.cpp", kTraceSource);
+  write("docs/OBSERVABILITY.md", "No table here.\n");
+  const auto findings = check_trace_docs(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("event table"), std::string::npos);
+}
+
 // --- rng rule ---------------------------------------------------------------
 
 TEST_F(LintTreeTest, RngRuleBansUnseededEntropyOutsideTheExemptFiles) {

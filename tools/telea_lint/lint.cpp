@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -294,6 +295,101 @@ std::vector<Finding> check_metric_docs(const Options& opts) {
   return findings;
 }
 
+std::vector<Finding> check_trace_docs(const Options& opts) {
+  std::vector<Finding> findings;
+  const std::string header = read_file(opts.root / opts.trace_header);
+  const std::vector<std::string> enumerators =
+      parse_enumerators(header, "TraceEvent");
+  if (enumerators.empty()) {
+    findings.push_back({opts.trace_header, 0, "trace-docs",
+                        "enum TraceEvent not found"});
+    return findings;
+  }
+  // Name strings come from the *raw* source: the case labels survive
+  // stripping but the returned literals do not.
+  const std::string source = read_file(opts.root / opts.trace_source);
+  std::vector<std::pair<std::string, std::string>> events;  // enumerator,name
+  for (const std::string& e : enumerators) {
+    const std::string label = "case TraceEvent::" + e + ":";
+    const std::size_t pos = source.find(label);
+    if (pos == std::string::npos) continue;  // enum-string reports this
+    const std::size_t open = source.find('"', pos);
+    const std::size_t close =
+        open == std::string::npos ? open : source.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    events.emplace_back(e, source.substr(open + 1, close - open - 1));
+  }
+
+  const std::string doc = read_file(opts.root / opts.trace_doc);
+  if (doc.empty()) {
+    findings.push_back(
+        {opts.trace_doc, 0, "trace-docs", "trace document missing"});
+    return findings;
+  }
+  // The event table: starts at the markdown header row "| event ..."; rows
+  // are every following line beginning with '|'. Documented names are the
+  // backticked tokens of each row's first column (a cell may hold several,
+  // e.g. `kill` / `revive`).
+  std::set<std::string> documented;
+  std::map<std::string, std::size_t> documented_line;
+  const std::size_t table = doc.find("\n| event");
+  if (table == std::string::npos) {
+    findings.push_back({opts.trace_doc, 0, "trace-docs",
+                        "event table (header row '| event ...') not found"});
+    return findings;
+  }
+  std::size_t pos = doc.find('\n', table + 1);
+  while (pos != std::string::npos && pos + 1 < doc.size() &&
+         doc[pos + 1] == '|') {
+    const std::size_t eol = doc.find('\n', pos + 1);
+    const std::string_view line =
+        std::string_view(doc).substr(pos + 1, eol == std::string::npos
+                                                  ? std::string::npos
+                                                  : eol - pos - 1);
+    const std::size_t cell_end = line.find('|', 1);
+    const std::string_view cell =
+        line.substr(1, cell_end == std::string_view::npos ? std::string_view::npos
+                                                          : cell_end - 1);
+    for (std::size_t tick = cell.find('`'); tick != std::string_view::npos;
+         tick = cell.find('`', tick + 1)) {
+      const std::size_t end = cell.find('`', tick + 1);
+      if (end == std::string_view::npos) break;
+      const std::string token(cell.substr(tick + 1, end - tick - 1));
+      if (!token.empty()) {
+        documented.insert(token);
+        documented_line.emplace(token, line_of(doc, pos + 1));
+      }
+      tick = end;
+    }
+    pos = eol;
+  }
+
+  for (const auto& [enumerator, name] : events) {
+    if (!documented.contains(name)) {
+      const std::size_t at = find_word(header, enumerator);
+      findings.push_back(
+          {opts.trace_header,
+           at == std::string::npos ? 0 : line_of(header, at), "trace-docs",
+           "TraceEvent::" + enumerator + " (\"" + name +
+               "\") is missing from the event table in " + opts.trace_doc});
+    }
+  }
+  std::set<std::string> known;
+  for (const auto& [enumerator, name] : events) {
+    (void)enumerator;
+    known.insert(name);
+  }
+  for (const std::string& token : documented) {
+    if (!known.contains(token)) {
+      findings.push_back(
+          {opts.trace_doc, documented_line[token], "trace-docs",
+           "event table lists `" + token +
+               "` which is not a TraceEvent name string — stale doc row?"});
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> check_rng_discipline(const Options& opts) {
   std::vector<Finding> findings;
   static const struct {
@@ -379,6 +475,7 @@ std::vector<Finding> check_field_widths(const Options& opts) {
 std::vector<Finding> run_all(const Options& opts) {
   std::vector<Finding> all = check_enum_strings(opts);
   for (auto&& f : check_metric_docs(opts)) all.push_back(std::move(f));
+  for (auto&& f : check_trace_docs(opts)) all.push_back(std::move(f));
   for (auto&& f : check_rng_discipline(opts)) all.push_back(std::move(f));
   for (auto&& f : check_field_widths(opts)) all.push_back(std::move(f));
   return all;

@@ -14,6 +14,10 @@
 ///                 without updating the loop silently breaks round-trips).
 ///   metric-docs   every metric name registered in src/ is documented in
 ///                 docs/OBSERVABILITY.md.
+///   trace-docs    every TraceEvent name string appears in the
+///                 docs/OBSERVABILITY.md event table — and every backticked
+///                 event in that table maps back to a real TraceEvent — so
+///                 span-boundary events cannot ship undocumented.
 ///   rng           no rand()/srand()/time()/std::random_device outside the
 ///                 seeded simulation RNG (src/util/rng.*) — any other entropy
 ///                 source breaks run reproducibility.
@@ -28,7 +32,8 @@ namespace telea::lint {
 struct Finding {
   std::string file;  // repo-root-relative path
   std::size_t line = 0;
-  std::string rule;  // "enum-string" | "metric-docs" | "rng" | "field-width"
+  // "enum-string" | "metric-docs" | "trace-docs" | "rng" | "field-width"
+  std::string rule;
   std::string message;
 };
 
@@ -48,6 +53,10 @@ struct Options {
   std::vector<EnumSpec> enums = default_enum_specs();
   std::string metrics_doc = "docs/OBSERVABILITY.md";
   std::vector<std::string> metric_scan_dirs = {"src"};
+  // trace-docs: where TraceEvent lives and which doc table must list it.
+  std::string trace_header = "src/stats/trace.hpp";
+  std::string trace_source = "src/stats/trace.cpp";
+  std::string trace_doc = "docs/OBSERVABILITY.md";
   std::vector<std::string> rng_scan_dirs = {"src", "examples", "bench",
                                             "tools"};
   std::vector<std::string> rng_exempt = {"src/util/rng.hpp",
@@ -68,6 +77,7 @@ struct Options {
 
 [[nodiscard]] std::vector<Finding> check_enum_strings(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_metric_docs(const Options& opts);
+[[nodiscard]] std::vector<Finding> check_trace_docs(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_rng_discipline(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_field_widths(const Options& opts);
 

@@ -11,7 +11,7 @@ void usage() {
       << "usage: telea_lint [--root DIR] [--rule NAME]\n"
       << "  --root DIR   repository root to analyze (default: .)\n"
       << "  --rule NAME  run one rule family only: enum-string | metric-docs\n"
-      << "               | rng | field-width (default: all)\n"
+      << "               | trace-docs | rng | field-width (default: all)\n"
       << "Exits 0 when the tree is clean, 1 when any rule fires,\n"
       << "2 on bad invocation. Rule catalog: docs/STATIC_ANALYSIS.md\n";
 }
@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
     findings = telea::lint::check_enum_strings(opts);
   } else if (rule == "metric-docs") {
     findings = telea::lint::check_metric_docs(opts);
+  } else if (rule == "trace-docs") {
+    findings = telea::lint::check_trace_docs(opts);
   } else if (rule == "rng") {
     findings = telea::lint::check_rng_discipline(opts);
   } else if (rule == "field-width") {
