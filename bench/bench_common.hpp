@@ -8,6 +8,7 @@
 //   --full        paper-scale durations (3 h measurement, 5 runs)
 //   --runs N      override the number of runs
 //   --minutes M   override the measurement duration
+//   --warmup M    override the warm-up duration
 //   --seed S      base seed
 
 #include <cstdio>
@@ -47,10 +48,14 @@ inline Options parse_options(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
       opt.duration =
           static_cast<SimTime>(std::strtoul(argv[++i], nullptr, 10)) * kMinute;
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      opt.warmup =
+          static_cast<SimTime>(std::strtoul(argv[++i], nullptr, 10)) * kMinute;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("options: --full | --runs N | --minutes M | --seed S\n");
+      std::printf(
+          "options: --full | --runs N | --minutes M | --warmup M | --seed S\n");
       std::exit(0);
     }
   }

@@ -33,6 +33,14 @@
 //                       summary and exits 3 on any violation (rule catalog:
 //                       docs/STATIC_ANALYSIS.md)
 //   failfast=false      with invariants=true: abort at the first violation
+//   health=off          in-band health telemetry: on = piggyback reports and
+//                       build the sink model; FILE = additionally append one
+//                       snapshot JSON line per period to FILE (telea_top
+//                       renders it; see docs/OBSERVABILITY.md)
+//   flightrec=off       per-node flight recorders: on = arm the rings and
+//                       dump on invariant violation / command give-up /
+//                       reboot; FILE = additionally stream each dump as a
+//                       JSONL line to FILE
 //   log=warn            trace | debug | info | warn | error | off
 //
 // Fault injection (all applied after warm-up, see docs/ROBUSTNESS.md):
@@ -102,6 +110,24 @@ bool write_text_file(const std::string& path, const std::string& text) {
   if (f == nullptr) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   return std::fclose(f) == 0 && ok;
+}
+
+bool append_text_line(const std::string& path, const std::string& line) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+      std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+// health= / flightrec= take "on" (feature only) or a path (feature + file
+// export). "off"/"false"/"0"/"" keep the feature disabled.
+bool opt_enabled(const std::string& v) {
+  return !v.empty() && v != "off" && v != "false" && v != "0";
+}
+bool opt_is_bare_on(const std::string& v) {
+  return v == "on" || v == "true" || v == "1";
 }
 
 void print_grouped(const char* title, const GroupedStats& g, bool pct,
@@ -180,6 +206,8 @@ int main(int argc, char** argv) {
   const bool profile = cfg.get_bool("profile", false);
   const bool invariants = cfg.get_bool("invariants", false);
   const bool failfast = cfg.get_bool("failfast", false);
+  const std::string health_opt = cfg.get_string("health");
+  const std::string flightrec_opt = cfg.get_string("flightrec");
   const auto churn = static_cast<std::size_t>(cfg.get_int("churn", 0));
   const auto downtime =
       static_cast<SimTime>(cfg.get_int("downtime", 120)) * kSecond;
@@ -188,8 +216,9 @@ int main(int argc, char** argv) {
   const SimTime duration = experiment.duration;
 
   experiment.on_warmed_up = [dot_path, trace_path, report_dir, profile,
-                             invariants, failfast, churn, downtime, noise_dbm,
-                             reboot_node, duration, seed](Network& net) {
+                             invariants, failfast, health_opt, flightrec_opt,
+                             churn, downtime, noise_dbm, reboot_node, duration,
+                             seed](Network& net) {
     if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
       TELEA_WARN("telea_sim") << "could not write " << dot_path;
     }
@@ -199,6 +228,22 @@ int main(int argc, char** argv) {
       InvariantConfig icfg;
       icfg.fail_fast = failfast;
       net.enable_invariants(icfg);
+    }
+    if (opt_enabled(health_opt)) {
+      NetworkHealthConfig hcfg;
+      if (!opt_is_bare_on(health_opt)) hcfg.snapshot_jsonl = health_opt;
+      net.enable_health(hcfg);
+    }
+    if (opt_enabled(flightrec_opt)) {
+      net.enable_flight_recorders();
+      if (!opt_is_bare_on(flightrec_opt)) {
+        const std::string path = flightrec_opt;
+        net.on_flight_dump = [path](const FlightDump& dump) {
+          if (!append_text_line(path, render_flight_dump_json(dump))) {
+            TELEA_WARN("telea_sim") << "could not append to " << path;
+          }
+        };
+      }
     }
 
     // Fault plan over the measurement window (docs/ROBUSTNESS.md).
@@ -233,7 +278,34 @@ int main(int argc, char** argv) {
   };
   const auto invariant_violations = std::make_shared<std::uint64_t>(0);
   experiment.on_finished = [trace_path, metrics_dir, report_dir, profile,
-                            invariant_violations](Network& net) {
+                            flightrec_opt, invariant_violations](Network& net) {
+    if (NetworkHealthModel* health = net.health()) {
+      const SimTime now = net.sim().now();
+      std::printf("health: coverage %s (%zu/%zu fresh), %llu reports, "
+                  "%llu bytes in-band, %llu stale-dropped\n",
+                  TextTable::fmt_pct(health->coverage(now), 1).c_str(),
+                  health->tracked() - health->stale_nodes(now).size(),
+                  health->expected_nodes(),
+                  static_cast<unsigned long long>(health->stats().reports),
+                  static_cast<unsigned long long>(health->stats().bytes),
+                  static_cast<unsigned long long>(
+                      health->stats().stale_dropped));
+      if (!net.health_config().snapshot_jsonl.empty()) {
+        if (net.append_health_snapshot()) {
+          std::printf("health: snapshots -> %s\n",
+                      net.health_config().snapshot_jsonl.c_str());
+        } else {
+          TELEA_WARN("telea_sim")
+              << "could not write " << net.health_config().snapshot_jsonl;
+        }
+      }
+    }
+    if (net.flight_recorders_enabled()) {
+      std::printf("flightrec: %zu dump(s) captured%s%s\n",
+                  net.flight_dumps().size(),
+                  opt_is_bare_on(flightrec_opt) ? "" : " -> ",
+                  opt_is_bare_on(flightrec_opt) ? "" : flightrec_opt.c_str());
+    }
     if (InvariantEngine* inv = net.invariants()) {
       inv->final_audit();
       *invariant_violations = inv->violations().size();
@@ -313,7 +385,8 @@ int main(int argc, char** argv) {
         "                 [warmup=MIN] [minutes=MIN] [interval=S] [ipi=S]\n"
         "                 [csv=DIR] [dot=FILE] [trace=FILE] [metrics=DIR]\n"
         "                 [report=DIR] [profile=BOOL] [invariants=BOOL]\n"
-        "                 [failfast=BOOL] [log=LEVEL] [churn=N] [downtime=S]\n"
+        "                 [failfast=BOOL] [health=on|FILE] [flightrec=on|FILE]\n"
+        "                 [log=LEVEL] [churn=N] [downtime=S]\n"
         "                 [noise=DBM] [reboot=NODE]\n"
         "(see the header of examples/telea_sim.cpp for defaults)\n");
     return 2;

@@ -23,6 +23,9 @@
 #   scripts/check.sh --fast       # plain + static only
 #   scripts/check.sh --san-only   # asan + thread only
 #   scripts/check.sh --static     # static analysis only
+#   scripts/check.sh --bench      # bench regression gate only (pinned short
+#                                 # bench runs vs bench/baselines/, >10%
+#                                 # worsening on latency/duty columns fails)
 #
 # Long randomized soaks (ctest label "soak") are excluded from the fast
 # default pass and run once under ASan/UBSan. Plain `ctest` still runs
@@ -35,11 +38,13 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 run_plain=1
 run_san=1
 run_static=1
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_san=0 ;;
     --san-only) run_plain=0; run_static=0 ;;
     --static) run_plain=0; run_san=0 ;;
+    --bench) run_plain=0; run_san=0; run_static=0; run_bench=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -110,9 +115,33 @@ static_stage() {
   fi
 }
 
+# Pinned short bench invocations (deterministic: virtual-time results depend
+# only on the seed and the code) diffed against the committed baseline set.
+# Refresh baselines after an intentional perf change with:
+#   TELEA_RESULTS_DIR=bench/baselines <the bench_stage invocations below>
+bench_stage() {
+  echo "== bench regression gate (bench/baselines) =="
+  cmake -S "$repo" -B "$repo/build" >/dev/null
+  cmake --build "$repo/build" -j "$jobs" \
+    --target bench_fig10_latency bench_fig9_dutycycle bench_compare
+  local tmp
+  tmp="$(mktemp -d)"
+  TELEA_RESULTS_DIR="$tmp" "$repo/build/bench/bench_fig10_latency" \
+    --runs 1 --warmup 10 --minutes 10 --seed 1
+  TELEA_RESULTS_DIR="$tmp" "$repo/build/bench/bench_fig9_dutycycle" \
+    --runs 1 --warmup 10 --minutes 10 --seed 1
+  "$repo/build/tools/bench_compare" \
+    baseline="$repo/bench/baselines" current="$tmp"
+  rm -rf "$tmp"
+}
+
 if [ "$run_plain" = 1 ]; then
   echo "== default build + tests (soak excluded) =="
   build_and_test "$repo/build" ""
+fi
+
+if [ "$run_bench" = 1 ]; then
+  bench_stage
 fi
 
 if [ "$run_static" = 1 ]; then

@@ -93,6 +93,7 @@ void InvariantEngine::report(NodeId node, InvariantRule rule,
   TELEA_WARN("check.invariants") << format_violation(v);
   ++by_rule_[static_cast<std::uint8_t>(rule)];
   violations_.push_back(v);
+  if (on_violation) on_violation(violations_.back());
   if (config_.fail_fast) throw InvariantViolationError(violations_.back());
 }
 
@@ -113,6 +114,7 @@ void InvariantEngine::clear() {
   by_rule_.clear();
   pending_child_mismatch_.clear();
   pending_loops_.clear();
+  last_dead_checkpoint_.clear();
   lease_since_.clear();
   delivered_by_.clear();
   delivery_epoch_.clear();
@@ -132,6 +134,9 @@ std::size_t InvariantEngine::run_checkpoint(
 #else
   const std::size_t before = violations_.size();
   ++checkpoints_;
+  for (const auto& v : views) {
+    if (!v.alive) last_dead_checkpoint_[v.id] = checkpoints_;
+  }
   std::map<std::uint64_t, SimTime> leases;
   for (const auto& v : views) {
     if (!v.alive || !v.has_addressing) continue;
@@ -209,6 +214,12 @@ void InvariantEngine::check_addressing(const InvariantNodeView& v) {
   }
 }
 
+bool InvariantEngine::in_revival_grace(NodeId node) const {
+  const auto it = last_dead_checkpoint_.find(node);
+  if (it == last_dead_checkpoint_.end()) return false;
+  return checkpoints_ - it->second <= config_.revival_grace_checkpoints;
+}
+
 void InvariantEngine::check_child_cross(
     const std::vector<InvariantNodeView>& views,
     std::set<std::string>* pending) {
@@ -224,6 +235,11 @@ void InvariantEngine::check_child_cross(
     // A dead or state-wiped allocator no longer vouches for anything; the
     // child legitimately keeps (and uses) its stale code (Sec. III-B6).
     if (!p.alive || !p.has_addressing) continue;
+    // Either side freshly back from an outage is still reconciling: the
+    // allocator may have re-allocated while the child was deaf (or the
+    // allocator's table went stale while it was down). Give the normal
+    // repair exchange a bounded number of checkpoints before flagging.
+    if (in_revival_grace(c.id) || in_revival_grace(p.id)) continue;
     const auto entry =
         std::find_if(p.children.begin(), p.children.end(),
                      [&c](const auto& e) { return e.child == c.id; });

@@ -82,6 +82,14 @@ struct InvariantConfig {
   /// for runs that end mid-lifecycle (a soak's command window can close with
   /// retries still backed off); turn on when the drain is generous.
   bool expect_all_resolved = false;
+  /// Checkpoints a node is excused from cross-node addressing rules after
+  /// coming back from an outage. A child that was down while its allocator
+  /// re-allocated legitimately holds a doubly-stale code until the normal
+  /// beacon/report exchange reconciles it — that is repair, not corruption.
+  /// The mismatch is still flagged if it outlives this window. The window
+  /// must cover a trickle-suppressed beacon round (minutes at steady
+  /// state), which is what ultimately carries the reconciliation.
+  std::uint64_t revival_grace_checkpoints = 8;
 };
 
 /// Checkpoint snapshot of one node's protocol state. Pure data: the harness
@@ -148,6 +156,11 @@ class InvariantEngine final : public ForwardingAuditor {
   /// Violations are trace-linked when a tracer is attached (nullptr detaches).
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Fired on every recorded violation, before fail_fast gets to throw —
+  /// the harness hooks the flight-recorder dump here so the post-mortem is
+  /// captured even when the run is about to abort.
+  std::function<void(const InvariantViolation&)> on_violation;
+
   /// Starts periodic checkpoints over `provider`'s snapshots.
   void start(ViewProvider provider);
   void stop();
@@ -203,6 +216,7 @@ class InvariantEngine final : public ForwardingAuditor {
                     std::map<std::uint64_t, SimTime>* leases);
   void check_ctp_loops(const std::vector<InvariantNodeView>& views,
                        std::set<std::string>* pending);
+  [[nodiscard]] bool in_revival_grace(NodeId node) const;
   [[nodiscard]] static bool claim_justified(const InvariantNodeView& v,
                                             const msg::ControlPacket& packet,
                                             bool rescue, std::string* why);
@@ -224,6 +238,10 @@ class InvariantEngine final : public ForwardingAuditor {
   // flight, a CTP repair mid-way — are gone by the next checkpoint).
   std::set<std::string> pending_child_mismatch_;
   std::set<std::string> pending_loops_;
+  // Checkpoint index at which each node was last observed dead; recently
+  // revived nodes get config_.revival_grace_checkpoints of slack on the
+  // cross-node addressing rules while the protocol reconciles their state.
+  std::map<NodeId, std::uint64_t> last_dead_checkpoint_;
   SimTime last_checkpoint_time_ = 0;
   // (node << 16 | neighbor) -> unreachable_since at the last checkpoint.
   std::map<std::uint64_t, SimTime> lease_since_;

@@ -1,0 +1,77 @@
+#include "core/flight_recorder.hpp"
+
+#include <cstdio>
+
+namespace telea {
+
+const char* flight_event_name(FlightEvent e) noexcept {
+  switch (e) {
+    case FlightEvent::kForwardDecision: return "forward_decision";
+    case FlightEvent::kSuppress: return "suppress";
+    case FlightEvent::kBacktrack: return "backtrack";
+    case FlightEvent::kAckTimeout: return "ack_timeout";
+    case FlightEvent::kGiveUp: return "give_up";
+    case FlightEvent::kParentChange: return "parent_change";
+    case FlightEvent::kCodeChange: return "code_change";
+    case FlightEvent::kReboot: return "reboot";
+  }
+  return "?";
+}
+
+void FlightRecorder::record(SimTime time, FlightEvent event, std::uint64_t a,
+                            std::uint64_t b) {
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(FlightRecord{time, event, a, b});
+  ++total_recorded_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string render_flight_dump_json(const FlightDump& dump) {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%.6f,\"node\":%u,\"trigger\":\"%s\",\"dropped\":%llu,"
+                "\"events\":[",
+                to_seconds(dump.time), static_cast<unsigned>(dump.node),
+                dump.trigger.c_str(),
+                static_cast<unsigned long long>(dump.dropped));
+  out += buf;
+  bool first = true;
+  for (const FlightRecord& r : dump.events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t\":%.6f,\"event\":\"%s\",\"a\":%llu,\"b\":%llu}",
+                  first ? "" : ",", to_seconds(r.time),
+                  flight_event_name(r.event),
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_flight_dump_text(const FlightDump& dump) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "flight dump: node %u at %.3fs, trigger %s (%zu events, %llu "
+                "older dropped)\n",
+                static_cast<unsigned>(dump.node), to_seconds(dump.time),
+                dump.trigger.c_str(), dump.events.size(),
+                static_cast<unsigned long long>(dump.dropped));
+  out += buf;
+  for (const FlightRecord& r : dump.events) {
+    std::snprintf(buf, sizeof(buf), "  %10.6fs  %-16s a=%llu b=%llu\n",
+                  to_seconds(r.time), flight_event_name(r.event),
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace telea

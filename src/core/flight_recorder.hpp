@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace telea {
+
+/// What a node's flight recorder remembers. Deliberately local knowledge
+/// only — the events a real mote could log to a RAM ring without any global
+/// view — so a dump is exactly what a field post-mortem would recover.
+enum class FlightEvent : std::uint8_t {
+  kForwardDecision,  // claimed a control packet     a=seqno    b=heard from
+  kSuppress,         // yielded to a better relay    a=seqno    b=peer
+  kBacktrack,        // returned packet upstream     a=seqno    b=upstream
+  kAckTimeout,       // send sweep drew no ack       a=seqno    b=intended next
+  kGiveUp,           // origin retry budget gone     a=seqno    b=attempts
+  kParentChange,     // CTP parent switch            a=old      b=new
+  kCodeChange,       // path code (re)assigned       a=code len b=0
+  kReboot,           // state-loss reboot            a=0        b=0
+};
+
+[[nodiscard]] const char* flight_event_name(FlightEvent e) noexcept;
+
+struct FlightRecord {
+  SimTime time = 0;
+  FlightEvent event = FlightEvent::kForwardDecision;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Bounded ring of recent local events. Intentionally survives a state-loss
+/// reboot: on real hardware this is the noinit RAM section post-mortems read
+/// back after a watchdog reset.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(SimTime time, FlightEvent event, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total events ever recorded (dropped ones included).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_recorded_;
+  }
+  /// Oldest-first copy of the ring.
+  [[nodiscard]] std::vector<FlightRecord> snapshot() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<FlightRecord> ring_;
+  std::uint64_t total_recorded_ = 0;
+};
+
+/// One dumped ring with its trigger context — produced when an invariant
+/// fires, a command is given up on, or a node reboots.
+struct FlightDump {
+  SimTime time = 0;           // when the dump was taken
+  NodeId node = kInvalidNode;
+  std::string trigger;        // "invariant:<rule>" | "command_give_up" | "reboot"
+  std::uint64_t dropped = 0;  // events the ring had already evicted
+  std::vector<FlightRecord> events;
+};
+
+/// One JSONL line per dump — the flight-recorder input of `tools/telea_top`.
+[[nodiscard]] std::string render_flight_dump_json(const FlightDump& dump);
+
+/// Human-readable rendering (telea_top and test diagnostics).
+[[nodiscard]] std::string render_flight_dump_text(const FlightDump& dump);
+
+}  // namespace telea

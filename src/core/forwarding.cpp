@@ -178,6 +178,10 @@ AckDecision Forwarding::handle_control(NodeId from,
       ++stats_.suppressions;
       TELEA_TRACE_EVENT(tracer_, sim_->now(), me, TraceEvent::kSuppress,
                         packet.seqno, from);
+      if (flight_ != nullptr) {
+        flight_->record(sim_->now(), FlightEvent::kSuppress, packet.seqno,
+                        from);
+      }
       if (st.mac_token.has_value()) {
         mac_->cancel_send(*st.mac_token);
         st.mac_token.reset();
@@ -255,6 +259,10 @@ void Forwarding::claim(NodeId from, const msg::ControlPacket& packet) {
   st.dup_acks = 0;
   st.defer_deadline = sim_->now() + config_.claim_defer;
   ++stats_.claims;
+  if (flight_ != nullptr) {
+    flight_->record(sim_->now(), FlightEvent::kForwardDecision, packet.seqno,
+                    from == kInvalidNode ? 0 : from);
+  }
   if (on_claimed) on_claimed(st.packet);
   // Guard delay before forwarding: stay in receive so the upstream sender
   // (which may have missed our ack) hears a re-ack and stops, instead of
@@ -288,6 +296,10 @@ void Forwarding::defer_check(std::uint32_t seqno) {
     ++stats_.yields;
     TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kSuppress,
                       seqno, st.came_from, TraceReason::kRetryExhausted);
+    if (flight_ != nullptr) {
+      flight_->record(sim_->now(), FlightEvent::kSuppress, seqno,
+                      st.came_from == kInvalidNode ? 0 : st.came_from);
+    }
     return;
   }
   forward(seqno);
@@ -410,6 +422,12 @@ void Forwarding::on_forward_result(std::uint32_t seqno,
   }
 
   ++st.attempts;
+  if (flight_ != nullptr) {
+    flight_->record(sim_->now(), FlightEvent::kAckTimeout, seqno,
+                    st.packet.expected_relay == kInvalidNode
+                        ? 0
+                        : st.packet.expected_relay);
+  }
   if (st.attempts < config_.forward_retries) {
     forward(seqno);
     return;
@@ -424,6 +442,10 @@ void Forwarding::backtrack(std::uint32_t seqno, TraceReason reason) {
                           << " backtracks to " << st.came_from;
   TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kBacktrack,
                     seqno, st.came_from, reason);
+  if (flight_ != nullptr) {
+    flight_->record(sim_->now(), FlightEvent::kBacktrack, seqno,
+                    st.came_from == kInvalidNode ? 0 : st.came_from);
+  }
 
   // Mark every on-path candidate we could not reach as unreachable until
   // their next routing beacon (Sec. III-C3).
@@ -461,6 +483,10 @@ void Forwarding::backtrack(std::uint32_t seqno, TraceReason reason) {
       return;
     }
     ++stats_.origin_failures;
+    if (flight_ != nullptr) {
+      flight_->record(sim_->now(), FlightEvent::kGiveUp, seqno,
+                      st.origin_retries);
+    }
     if (on_origin_stuck) on_origin_stuck(st.packet);
     return;
   }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/addressing.hpp"
+#include "core/flight_recorder.hpp"
 #include "mac/lpl.hpp"
 #include "net/ctp.hpp"
 #include "sim/simulator.hpp"
@@ -166,6 +167,12 @@ class Forwarding {
   /// to detach; auditing is a null-check when unset.
   void set_auditor(ForwardingAuditor* auditor) noexcept { auditor_ = auditor; }
 
+  /// Attaches this node's flight recorder (claim / yield / backtrack /
+  /// ack-timeout / give-up events). Pass nullptr to detach.
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    flight_ = recorder;
+  }
+
   struct Candidate {
     NodeId id = kInvalidNode;
     std::size_t code_len = 0;
@@ -249,6 +256,7 @@ class Forwarding {
   Stats stats_;
   Tracer* tracer_ = nullptr;
   ForwardingAuditor* auditor_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace telea

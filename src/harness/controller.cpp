@@ -298,6 +298,10 @@ void Controller::resolve(std::uint64_t id, CommandOutcome outcome) {
         << "t=" << to_seconds(res.resolved_at) << "s giving up on command to "
         << "node " << res.dest << " after " << res.attempts << " attempts ("
         << res.escalations << " escalated)";
+    // Post-mortem: capture the destination's recent local decisions while
+    // they are still in its ring — the give-up is exactly when an operator
+    // would pull the node's log.
+    net_->dump_flight(res.dest, "command_give_up");
   }
   TELEA_TRACE_EVENT(net_->tracer(), res.resolved_at, kSinkNode,
                     TraceEvent::kCommandResolve, res.last_seqno, res.dest,

@@ -1,6 +1,7 @@
 #include "harness/network.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/path_code.hpp"
 #include "radio/phy.hpp"
@@ -48,8 +49,28 @@ NodeStack::NodeStack(Simulator& sim, RadioMedium& medium, NodeId id,
   if (id == kSinkNode) {
     ctp_.set_deliver([this](const msg::CtpData& data) {
       if (tele_) tele_->notify_root_delivery(data);
+      if (data.has_health && on_health_report) {
+        on_health_report(data.origin, data.health);
+      }
       if (on_sink_data) on_sink_data(data);
     });
+  }
+
+  // Permanent code-change fan-out: tracing and the flight recorder both
+  // listen, either may be enabled at any time.
+  if (tele_) {
+    tele_->addressing().on_code_changed = [this] { note_code_changed(); };
+  }
+}
+
+void NodeStack::note_code_changed() {
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_->now(), id(), TraceEvent::kCodeChange,
+                    tele_->addressing().code().size());
+  }
+  if (flight_ != nullptr) {
+    flight_->record(sim_->now(), FlightEvent::kCodeChange,
+                    tele_->addressing().code().size());
   }
 }
 
@@ -119,6 +140,11 @@ void NodeStack::on_parent_changed(NodeId old_parent, NodeId new_parent) {
     tracer_->record(sim_->now(), id(), TraceEvent::kParentChange, old_parent,
                     new_parent);
   }
+  if (flight_ != nullptr) {
+    flight_->record(sim_->now(), FlightEvent::kParentChange,
+                    old_parent == kInvalidNode ? 0 : old_parent,
+                    new_parent == kInvalidNode ? 0 : new_parent);
+  }
   if (tele_) tele_->on_parent_changed(old_parent, new_parent);
   if (rpl_) rpl_->on_parent_changed();
 }
@@ -138,11 +164,21 @@ void NodeStack::revive() {
     tracer_->record(sim_->now(), id(), TraceEvent::kRevive);
   }
   mac_.restart();
+  // kill() stopped the application workload along with the radio; a revived
+  // node resumes originating (health telemetry made the omission visible:
+  // every node that ever had an outage stayed stale forever).
+  if (data_ipi_ > 0) start_data_collection(data_ipi_, data_seed_);
 }
 
 void NodeStack::reboot_with_state_loss() {
   if (tracer_ != nullptr) {
     tracer_->record(sim_->now(), id(), TraceEvent::kReboot);
+  }
+  if (flight_ != nullptr) {
+    // The ring survives the reboot (noinit-RAM semantics): record the event,
+    // then hand the pre-reboot history out as a post-mortem.
+    flight_->record(sim_->now(), FlightEvent::kReboot);
+    if (flight_trigger_) flight_trigger_(id(), "reboot");
   }
   if (invariants_ != nullptr) invariants_->note_node_reset(id());
   data_timer_.stop();
@@ -159,22 +195,48 @@ void NodeStack::set_tracer(Tracer* tracer) {
   tracer_ = tracer;
   mac_.set_tracer(tracer);
   ctp_.set_tracer(tracer);
-  if (tele_ != nullptr) {
-    tele_->set_tracer(tracer);
-    if (tracer == nullptr) {
-      tele_->addressing().on_code_changed = nullptr;
-    } else {
-      tele_->addressing().on_code_changed = [this] {
-        tracer_->record(sim_->now(), id(), TraceEvent::kCodeChange,
-                        tele_->addressing().code().size());
-      };
-    }
-  }
+  if (tele_ != nullptr) tele_->set_tracer(tracer);
 }
 
 void NodeStack::set_invariant_engine(InvariantEngine* engine) {
   invariants_ = engine;
   if (tele_ != nullptr) tele_->forwarding().set_auditor(engine);
+}
+
+void NodeStack::enable_health_reporting(const HealthReporterConfig& config,
+                                        const EnergyModelConfig& energy) {
+  if (ctp_.is_root() || health_reporter_ != nullptr) return;
+  health_reporter_ = std::make_unique<HealthReporter>(config);
+  health_energy_ = energy;
+  ctp_.set_origin_hook([this](msg::CtpData& data) {
+    health_reporter_->maybe_attach(sim_->now(), data,
+                                   [this] { return sample_health(); });
+  });
+}
+
+HealthSample NodeStack::sample_health() {
+  HealthSample s;
+  s.duty_cycle = mac_.duty_cycle();
+  const NodeId parent = ctp_.parent();
+  s.etx10 = parent == kInvalidNode ? 0xFFFFu : estimator_.etx10(parent);
+  if (tele_ && tele_->addressing().has_code()) {
+    s.code_len = tele_->addressing().code().size();
+  }
+  s.mac_queue_hwm = mac_.send_queue_hwm();
+  s.ctp_queue_hwm = ctp_.forward_queue_hwm();
+  s.parent_changes = ctp_.stats().parent_changes;
+  const EnergyModel model(health_energy_);
+  s.energy_mj = model.energy_mj(mac_.radio_on_time(), mac_.tx_airtime(),
+                                mac_.accounting_window());
+  return s;
+}
+
+void NodeStack::enable_flight_recorder(
+    std::size_t capacity, std::function<void(NodeId, const char*)> trigger_dump) {
+  if (flight_ != nullptr) return;
+  flight_ = std::make_unique<FlightRecorder>(capacity);
+  flight_trigger_ = std::move(trigger_dump);
+  if (tele_ != nullptr) tele_->forwarding().set_flight_recorder(flight_.get());
 }
 
 void NodeStack::start_data_collection(SimTime ipi, std::uint64_t seed) {
@@ -255,6 +317,8 @@ std::optional<DetourSuggestion> Network::suggest_detour(NodeId dest) const {
 
   std::optional<DetourSuggestion> best;
   std::size_t best_divergence = 0;
+  int best_health = -1;
+  unsigned best_etx10 = 0x100;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const auto id = static_cast<NodeId>(i);
     if (id == dest || id == kSinkNode) continue;
@@ -266,9 +330,29 @@ std::optional<DetourSuggestion> Network::suggest_detour(NodeId dest) const {
     // most divergent code (paper: "different path code to the greatest
     // extent").
     const std::size_t divergence = code_divergence(code, dest_code);
-    if (!best.has_value() || divergence > best_divergence) {
+    // Health bias: among equally divergent candidates, prefer the ones the
+    // sink's in-band health model has recently heard from (fresh > merely
+    // tracked > silent), then the lowest reported parent-link ETX. Without
+    // the model every candidate ranks the same and the seed behavior —
+    // first max-divergence candidate wins — is preserved.
+    int health_rank = 0;
+    unsigned etx10 = 0x100;
+    if (health_ != nullptr) {
+      if (const NetworkHealthModel::Entry* e = health_->entry(id)) {
+        health_rank = health_->is_fresh(sim_.now(), id) ? 2 : 1;
+        etx10 = e->report.etx10;
+      }
+    }
+    const bool better =
+        !best.has_value() || divergence > best_divergence ||
+        (divergence == best_divergence &&
+         (health_rank > best_health ||
+          (health_rank == best_health && etx10 < best_etx10)));
+    if (better) {
       best = DetourSuggestion{id, code};
       best_divergence = divergence;
+      best_health = health_rank;
+      best_etx10 = etx10;
     }
   }
   return best;
@@ -477,6 +561,42 @@ void Network::collect_metrics(MetricsRegistry& registry) const {
     registry.gauge("telea_sim_max_queue_depth", {{"sub", "sim"}})
         .set(static_cast<double>(prof.max_queue_depth));
   }
+  if (health_ != nullptr) {
+    health_->collect_metrics(registry, sim_.now());
+    registry.describe("telea_health_suppressed_total",
+                      "Health reports withheld by the origin rate limiter");
+    std::uint64_t attached = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t suppressed = 0;
+    for (const auto& n : nodes_) {
+      if (const HealthReporter* r = n->health_reporter()) {
+        attached += r->stats().reports_attached;
+        bytes += r->stats().bytes_attached;
+        suppressed += r->stats().suppressed;
+      }
+    }
+    const MetricLabels origin{{"side", "origin"}, {"sub", "health"}};
+    registry.counter("telea_health_reports_total", origin).set_total(attached);
+    registry.counter("telea_health_overhead_bytes", origin).set_total(bytes);
+    registry.counter("telea_health_suppressed_total", origin)
+        .set_total(suppressed);
+  }
+  if (flight_enabled_) {
+    registry.describe("telea_flight_events_total",
+                      "Events recorded into per-node flight-recorder rings");
+    registry.describe("telea_flight_dumps_total",
+                      "Flight-recorder rings dumped on a trigger");
+    std::uint64_t recorded = 0;
+    for (const auto& n : nodes_) {
+      if (const FlightRecorder* r = n->flight_recorder()) {
+        recorded += r->total_recorded();
+      }
+    }
+    registry.counter("telea_flight_events_total", {{"sub", "flight"}})
+        .set_total(recorded);
+    registry.counter("telea_flight_dumps_total", {{"sub", "flight"}})
+        .set_total(flight_dumps_taken_);
+  }
 }
 
 InvariantEngine& Network::enable_invariants(const InvariantConfig& config) {
@@ -485,7 +605,91 @@ InvariantEngine& Network::enable_invariants(const InvariantConfig& config) {
   invariants_->set_tracer(tracer_.get());
   for (auto& n : nodes_) n->set_invariant_engine(invariants_.get());
   invariants_->start([this] { return invariant_views(); });
+  wire_flight_triggers();
   return *invariants_;
+}
+
+NetworkHealthModel& Network::enable_health(const NetworkHealthConfig& config) {
+  if (health_ != nullptr) return *health_;
+  health_config_ = config;
+  if (health_config_.period == 0) health_config_.period = 60 * kSecond;
+
+  HealthModelConfig model_config;
+  model_config.period = health_config_.period;
+  model_config.stale_after = health_config_.stale_after;
+  model_config.evict_after = health_config_.evict_after;
+  health_ = std::make_unique<NetworkHealthModel>(model_config);
+  health_->set_expected_nodes(nodes_.empty() ? 0 : nodes_.size() - 1);
+
+  HealthReporterConfig reporter_config;
+  reporter_config.min_interval = health_config_.period;
+  const EnergyModelConfig energy = energy_config();
+  for (auto& n : nodes_) n->enable_health_reporting(reporter_config, energy);
+  sink().on_health_report = [this](NodeId node, const msg::HealthReport& r) {
+    health_->on_report(sim_.now(), node, r);
+  };
+
+  if (!health_config_.snapshot_jsonl.empty()) {
+    const SimTime interval = health_config_.snapshot_interval != 0
+                                 ? health_config_.snapshot_interval
+                                 : health_config_.period;
+    health_timer_ = std::make_unique<Timer>(sim_);
+    health_timer_->set_callback([this] { append_health_snapshot(); });
+    health_timer_->start_periodic(interval);
+  }
+  return *health_;
+}
+
+bool Network::append_health_snapshot() {
+  if (health_ == nullptr || health_config_.snapshot_jsonl.empty()) return false;
+  std::FILE* f = std::fopen(health_config_.snapshot_jsonl.c_str(), "a");
+  if (f == nullptr) return false;
+  const std::string line = health_->render_snapshot_json(sim_.now()) + "\n";
+  const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Network::enable_flight_recorders(std::size_t capacity) {
+  if (flight_enabled_) return;
+  flight_enabled_ = true;
+  for (auto& n : nodes_) {
+    n->enable_flight_recorder(
+        capacity,
+        [this](NodeId node, const char* trigger) { dump_flight(node, trigger); });
+  }
+  wire_flight_triggers();
+}
+
+void Network::wire_flight_triggers() {
+  if (!flight_enabled_ || invariants_ == nullptr) return;
+  invariants_->on_violation = [this](const InvariantViolation& v) {
+    if (v.node == kInvalidNode || v.node >= nodes_.size()) return;
+    dump_flight(v.node,
+                std::string("invariant:") + invariant_rule_name(v.rule));
+  };
+}
+
+void Network::dump_flight(NodeId node, std::string trigger) {
+  if (node >= nodes_.size()) return;
+  FlightRecorder* recorder = nodes_[node]->flight_recorder();
+  if (recorder == nullptr) return;
+  FlightDump dump;
+  dump.time = sim_.now();
+  dump.node = node;
+  dump.trigger = std::move(trigger);
+  dump.events = recorder->snapshot();
+  dump.dropped = recorder->total_recorded() - dump.events.size();
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), node, TraceEvent::kFlightDump,
+                    dump.events.size(), flight_dumps_taken_);
+  }
+  ++flight_dumps_taken_;
+  constexpr std::size_t kMaxStoredDumps = 256;
+  if (flight_dumps_.size() >= kMaxStoredDumps) {
+    flight_dumps_.erase(flight_dumps_.begin());
+  }
+  flight_dumps_.push_back(std::move(dump));
+  if (on_flight_dump) on_flight_dump(flight_dumps_.back());
 }
 
 std::vector<InvariantNodeView> Network::invariant_views() const {

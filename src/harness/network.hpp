@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "core/flight_recorder.hpp"
 #include "core/teleadjusting.hpp"
 #include "mac/lpl.hpp"
 #include "net/ctp.hpp"
@@ -19,6 +20,7 @@
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "stats/energy.hpp"
+#include "stats/health.hpp"
 #include "stats/metrics.hpp"
 #include "stats/spans.hpp"
 #include "stats/trace.hpp"
@@ -91,6 +93,35 @@ class NodeStack final : public FrameHandler, public CtpListener {
   /// Sink-side data delivery (set by the harness / applications).
   std::function<void(const msg::CtpData&)> on_sink_data;
 
+  /// Sink-side piggybacked health reports, fed from the CTP deliver path
+  /// before on_sink_data (set by Network::enable_health).
+  std::function<void(NodeId, const msg::HealthReport&)> on_health_report;
+
+  /// Turns on in-band health reporting: every locally-originated upward CTP
+  /// frame is offered to a rate-limited HealthReporter through the CTP
+  /// origin hook. No-op on the sink (it never reports to itself). The
+  /// energy config is used for the report's energy-spent estimate.
+  void enable_health_reporting(const HealthReporterConfig& config,
+                               const EnergyModelConfig& energy);
+  [[nodiscard]] HealthReporter* health_reporter() noexcept {
+    return health_reporter_.get();
+  }
+
+  /// Samples this node's current local health (what the next report will
+  /// quantize). Public for tests.
+  [[nodiscard]] HealthSample sample_health();
+
+  /// Attaches a bounded flight recorder fed by the forwarding plane and the
+  /// CTP/addressing event fan-out. `trigger_dump` fires when this node's own
+  /// machinery decides a post-mortem is warranted (currently: a state-loss
+  /// reboot); external triggers go through Network::dump_flight.
+  void enable_flight_recorder(
+      std::size_t capacity,
+      std::function<void(NodeId, const char*)> trigger_dump);
+  [[nodiscard]] FlightRecorder* flight_recorder() noexcept {
+    return flight_.get();
+  }
+
   /// Starts this node's periodic data-collection traffic (CTP upward).
   void start_data_collection(SimTime ipi, std::uint64_t seed);
 
@@ -120,6 +151,8 @@ class NodeStack final : public FrameHandler, public CtpListener {
   void set_invariant_engine(InvariantEngine* engine);
 
  private:
+  void note_code_changed();
+
   LinkEstimator estimator_;
   LplMac mac_;
   CtpNode ctp_;
@@ -131,9 +164,26 @@ class NodeStack final : public FrameHandler, public CtpListener {
   Simulator* sim_;
   Tracer* tracer_ = nullptr;
   InvariantEngine* invariants_ = nullptr;
+  std::unique_ptr<HealthReporter> health_reporter_;
+  EnergyModelConfig health_energy_{};
+  std::unique_ptr<FlightRecorder> flight_;
+  std::function<void(NodeId, const char*)> flight_trigger_;
   // Remembered so a state-loss reboot restarts the application workload.
   SimTime data_ipi_ = 0;
   std::uint64_t data_seed_ = 0;
+};
+
+/// Harness-level switches for the in-band health telemetry subsystem
+/// (docs/OBSERVABILITY.md). One knob, `period`, drives both sides: the
+/// per-node attach rate limit and the sink model's staleness expectations.
+struct NetworkHealthConfig {
+  SimTime period = 60 * kSecond;  // telemetry period (attach rate limit)
+  SimTime stale_after = 0;        // 0 = two periods
+  SimTime evict_after = 0;        // 0 = never evict
+  /// When non-empty, a snapshot line is appended here every
+  /// `snapshot_interval` (0 = every period) — the telea_top input stream.
+  std::string snapshot_jsonl;
+  SimTime snapshot_interval = 0;
 };
 
 /// A complete simulated deployment: radio substrate + one NodeStack per
@@ -228,6 +278,41 @@ class Network {
   /// structural invariants range over. Public for tests and tools.
   [[nodiscard]] std::vector<InvariantNodeView> invariant_views() const;
 
+  /// Turns on in-band health telemetry: every non-sink node piggybacks
+  /// rate-limited 8-byte reports on its upward traffic, the sink assembles
+  /// them into a staleness-aware NetworkHealthModel, and Re-Tele detour
+  /// selection starts preferring fresh, healthy candidates. Idempotent —
+  /// the config of the first call wins; the model lives as long as the
+  /// network.
+  NetworkHealthModel& enable_health(const NetworkHealthConfig& config = {});
+  [[nodiscard]] NetworkHealthModel* health() noexcept { return health_.get(); }
+  [[nodiscard]] const NetworkHealthConfig& health_config() const noexcept {
+    return health_config_;
+  }
+
+  /// Appends one health snapshot line to the configured JSONL file right
+  /// now (also called periodically by the snapshot timer). False when
+  /// health is off, no file is configured, or the write failed.
+  bool append_health_snapshot();
+
+  /// Arms a bounded flight recorder on every node (forward decisions,
+  /// parent changes, backtracks, ack timeouts, reboots...). Rings are
+  /// dumped — to Network storage, the trace stream, and on_flight_dump —
+  /// on invariant violation, command give-up, or node reboot. Idempotent.
+  void enable_flight_recorders(std::size_t capacity = 128);
+  [[nodiscard]] bool flight_recorders_enabled() const noexcept {
+    return flight_enabled_;
+  }
+
+  /// Snapshots `node`'s flight-recorder ring into a FlightDump tagged with
+  /// `trigger`. No-op when recorders are off or the node id is bogus.
+  void dump_flight(NodeId node, std::string trigger);
+  [[nodiscard]] const std::vector<FlightDump>& flight_dumps() const noexcept {
+    return flight_dumps_;
+  }
+  /// Fired after each dump is stored (telea_sim streams them to JSONL).
+  std::function<void(const FlightDump&)> on_flight_dump;
+
   /// Mirrors every component's counters into `registry`, scoped per node
   /// (label "node") and per subsystem (label "sub": phy / lpl / ctp /
   /// forwarding / teleadjusting / sim). Collector-style: call it again to
@@ -236,6 +321,10 @@ class Network {
   void collect_metrics(MetricsRegistry& registry) const;
 
  private:
+  /// Routes invariant violations into flight dumps once both subsystems
+  /// exist — callable from either enable_ path, whichever runs second.
+  void wire_flight_triggers();
+
   NetworkConfig config_;
   Simulator sim_;
   std::unique_ptr<LinkGainTable> gains_;
@@ -245,6 +334,12 @@ class Network {
   std::vector<std::unique_ptr<NodeStack>> nodes_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<InvariantEngine> invariants_;
+  std::unique_ptr<NetworkHealthModel> health_;
+  NetworkHealthConfig health_config_;
+  std::unique_ptr<Timer> health_timer_;
+  bool flight_enabled_ = false;
+  std::vector<FlightDump> flight_dumps_;  // bounded, newest kept
+  std::uint64_t flight_dumps_taken_ = 0;  // monotone, for metrics
 };
 
 }  // namespace telea

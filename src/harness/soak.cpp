@@ -126,6 +126,11 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
   // Span reconciliation needs the command trajectories to survive the whole
   // window, so size the ring well above the default.
   if (cfg.spans) net.enable_tracing(1 << 20);
+  if (cfg.health) {
+    NetworkHealthConfig health_cfg;
+    health_cfg.period = cfg.health_period;
+    net.enable_health(health_cfg);
+  }
 
   net.start();
   net.start_data_collection(cfg.data_ipi);
@@ -204,6 +209,16 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
       TELEA_WARN("harness.soak") << "invariant violations:\n"
                                  << inv->render_report();
     }
+  }
+  if (NetworkHealthModel* health = net.health()) {
+    const SimTime now = net.sim().now();
+    result.health_coverage = health->coverage(now);
+    result.health_tracked = health->tracked();
+    result.health_reports = health->stats().reports;
+    result.health_bytes = health->stats().bytes;
+    TELEA_INFO("harness.soak") << "health coverage " << result.health_coverage
+                               << " over " << result.health_tracked
+                               << " tracked nodes";
   }
   TELEA_INFO("harness.soak") << "done: " << result.acked << "/"
                              << result.commands << " acked, "

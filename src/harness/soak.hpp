@@ -49,6 +49,11 @@ struct ChurnSoakConfig {
   /// its end-to-end latency even under churn — the observability analogue of
   /// the invariant engine's "faults lose packets, never corrupt state".
   bool spans = true;
+
+  /// Piggybacked health telemetry (src/stats/health.*): the sink model's
+  /// coverage/staleness verdict under the same fault mix.
+  bool health = false;
+  SimTime health_period = 60 * kSecond;
 };
 
 struct ChurnSoakResult {
@@ -68,6 +73,11 @@ struct ChurnSoakResult {
   // Span engine verdict (cfg.spans): reconcile failures must stay 0.
   std::size_t command_spans = 0;
   std::size_t span_reconcile_failures = 0;
+  // Health model verdict (cfg.health), read at end of run.
+  double health_coverage = 0.0;      // fresh / expected
+  std::size_t health_tracked = 0;    // nodes ever heard from (not evicted)
+  std::uint64_t health_reports = 0;  // reports the sink accepted or rejected
+  std::uint64_t health_bytes = 0;    // piggyback bytes that reached the sink
 
   [[nodiscard]] double delivery_ratio() const noexcept {
     return commands == 0

@@ -1,5 +1,6 @@
 #include "mac/lpl.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -97,6 +98,7 @@ void LplMac::stop() {
   csma_timer_.stop();
   gap_timer_.stop();
   queue_.clear();
+  send_queue_hwm_ = 0;  // RAM-resident watermark: lost with the queue
   sending_ = false;
   // Force the radio off regardless of held reasons.
   if (awake_reasons_ != 0) {
@@ -124,6 +126,7 @@ std::optional<std::uint32_t> LplMac::send_cancellable(Frame frame,
   frame.link_seq = next_link_seq_++;
   const std::uint32_t token = frame.link_seq;
   queue_.push_back(PendingSend{std::move(frame), std::move(done), false});
+  send_queue_hwm_ = std::max(send_queue_hwm_, queue_.size());
   try_start_next_send();
   return token;
 }

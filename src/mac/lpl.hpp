@@ -129,6 +129,11 @@ class LplMac final : public MediumListener {
     return copies_sent_;
   }
   [[nodiscard]] std::uint64_t send_ops() const noexcept { return send_ops_; }
+  /// Deepest the TX queue has been since boot (or since stop()) — the "TX
+  /// queue" half of the in-band health report's high-water field.
+  [[nodiscard]] std::size_t send_queue_hwm() const noexcept {
+    return send_queue_hwm_;
+  }
   /// Resets the accounting clock (call after warm-up so metrics cover only
   /// the measurement phase).
   void reset_accounting();
@@ -178,6 +183,7 @@ class LplMac final : public MediumListener {
   unsigned awake_reasons_ = 0;
 
   std::deque<PendingSend> queue_;
+  std::size_t send_queue_hwm_ = 0;
   bool stopped_ = false;
   bool sending_ = false;      // a send op is in progress
   bool copy_in_flight_ = false;

@@ -174,11 +174,13 @@ bool CtpNode::send_to_sink(msg::CtpData data) {
     return false;
   }
   ++stats_.data_originated;
+  if (origin_hook_) origin_hook_(data);
   if (data.is_control_ack) {
     TELEA_TRACE_EVENT(tracer_, sim_->now(), mac_->id(), TraceEvent::kAckPath,
                       data.control_seqno, parent_);
   }
   forward_queue_.push_back(data);
+  forward_queue_hwm_ = std::max(forward_queue_hwm_, forward_queue_.size());
   forward_next();
   return true;
 }
@@ -223,6 +225,7 @@ AckDecision CtpNode::handle_data(NodeId from, const msg::CtpData& data,
                       fwd.control_seqno, parent_);
   }
   forward_queue_.push_back(fwd);
+  forward_queue_hwm_ = std::max(forward_queue_hwm_, forward_queue_.size());
   forward_next();
   return AckDecision::kAcceptAndAck;
 }
@@ -291,6 +294,7 @@ void CtpNode::reset_routing() {
   route_announced_ = false;
   routes_.clear();
   forward_queue_.clear();
+  forward_queue_hwm_ = 0;  // RAM-resident watermark: lost with the queue
   forwarding_ = false;
   forwarding_to_ = kInvalidNode;
   front_attempts_ = 0;

@@ -84,6 +84,14 @@ class CtpNode {
   using DeliverFn = std::function<void(const msg::CtpData&)>;
   void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
 
+  /// Origin-side piggyback hook: invoked once per locally-originated upward
+  /// frame (collection data *and* e2e control acks), after origin/seqno
+  /// stamping and only when the frame is actually accepted into the forward
+  /// queue. The in-band health reporter attaches its report here; forwarding
+  /// hops never see the hook, so piggybacks ride origin frames unmodified.
+  using OriginHook = std::function<void(msg::CtpData&)>;
+  void set_origin_hook(OriginHook hook) { origin_hook_ = std::move(hook); }
+
   /// Sends an application payload toward the sink. Returns false when the
   /// forwarding queue is full.
   bool send_to_sink(msg::CtpData data);
@@ -137,6 +145,13 @@ class CtpNode {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Deepest the forward queue has been since boot (or since the last
+  /// state-loss reboot) — the "RX queue" half of the health report's
+  /// queue high-water field.
+  [[nodiscard]] std::size_t forward_queue_hwm() const noexcept {
+    return forward_queue_hwm_;
+  }
+
   /// Attaches a decision tracer: CTP reports each hop a control-plane e2e
   /// acknowledgement takes toward the sink (TraceEvent::kAckPath).
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
@@ -172,6 +187,7 @@ class CtpNode {
   CtpListener* listener_ = nullptr;
   BeaconPiggyback* piggyback_ = nullptr;
   DeliverFn deliver_;
+  OriginHook origin_hook_;
   Tracer* tracer_ = nullptr;
   Stats stats_;
 
@@ -185,6 +201,7 @@ class CtpNode {
   std::vector<RouteEntry> routes_;  // advertised routes of neighbors
 
   std::deque<msg::CtpData> forward_queue_;
+  std::size_t forward_queue_hwm_ = 0;
   bool forwarding_ = false;
   NodeId forwarding_to_ = kInvalidNode;
   unsigned front_attempts_ = 0;        // send ops spent on the head packet

@@ -21,7 +21,8 @@ struct PayloadSize {
     // origin(2)+seqno(1)+thl(1)+etx(2)+flags(1) + ack seqno when carried
     // + the piggybacked code report when present
     return 7 + (d.is_control_ack ? 4u : 0u) +
-           (d.has_code_report ? code_bytes(d.reported_code) : 0u);
+           (d.has_code_report ? code_bytes(d.reported_code) : 0u) +
+           (d.has_health ? msg::kHealthReportBytes : 0u);
   }
   std::size_t operator()(const msg::TeleBeacon& b) const noexcept {
     // code + space(1) + flags(1) + entries: child(2)+position(2)+flag packed

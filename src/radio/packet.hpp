@@ -34,6 +34,26 @@ struct CtpBeacon {
   std::uint8_t claimed_code_len = 0;   // valid bits of this node's path code
 };
 
+/// Compact in-band node health report, piggybacked on upward CTP traffic
+/// (data and e2e acks) so the sink can maintain a staleness-aware picture of
+/// the network without any dedicated telemetry packets. Exactly 8 bytes on
+/// the wire (kHealthReportBytes); every field is pre-quantized to its wire
+/// width so the struct *is* the wire format. See docs/OBSERVABILITY.md for
+/// the byte layout and quantization rules.
+struct HealthReport {
+  std::uint8_t seqno = 0;         // wraps; freshest-wins via signed u8 delta
+  std::uint8_t duty_permille = 0; // radio duty cycle, 0.1% units, sat. 25.5%
+  std::uint8_t etx10 = 0xFF;      // link ETX to CTP parent, 1/10 units, sat.
+  std::uint8_t code_len = 0;      // valid bits of this node's path code
+  std::uint8_t queue_hwm = 0;     // hi nibble: MAC TX queue high-water mark,
+                                  // lo nibble: CTP forward queue, each sat. 15
+  std::uint8_t parent_epoch = 0;  // parent-change count mod 256
+  std::uint16_t energy_mj = 0;    // estimated energy spent, mJ, saturating
+};
+
+/// Wire size of one piggybacked HealthReport.
+inline constexpr std::size_t kHealthReportBytes = 8;
+
 /// CTP data frame (unicast, hop-by-hop to the current parent). Also carries
 /// TeleAdjusting end-to-end acknowledgements, which the paper transmits "as a
 /// data packet" (Sec. III-C5).
@@ -48,6 +68,10 @@ struct CtpData {
   // remote controller") — piggybacked on collection traffic when enabled.
   bool has_code_report = false;
   BitString reported_code;
+  // --- in-band health telemetry — piggybacked by the origin only (never
+  // attached or rewritten on forwarding hops), rate-limited per node.
+  bool has_health = false;
+  HealthReport health;
 };
 
 /// One child-table entry carried in a TeleAdjusting beacon: the deterministic

@@ -66,6 +66,14 @@ std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
 double Histogram::quantile(double q) const noexcept {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // Degenerate cases where interpolation has nothing to interpolate: a
+  // single sample (p50 of one observe(7) on bounds {0,100} used to come out
+  // 50, a value never observed — the sample itself is the exact answer for
+  // every q), and a histogram with no finite bucket (everything lands in
+  // +Inf, which used to report 0).
+  if (count_ == 1 || bounds_.empty()) {
+    return sum_ / static_cast<double>(count_);
+  }
   const double rank = q * static_cast<double>(count_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < bounds_.size(); ++i) {

@@ -51,6 +51,8 @@ enum class TraceEvent : std::uint8_t {
                       // a = seqno, b = the node it arrived from (0 when the
                       // destination was the origin itself). Closes the
                       // command span in the span engine.
+  kFlightDump,       // a node's flight-recorder ring was dumped; a = events
+                     // in the dump, b = the dump's index in Network storage
 };
 
 /// Why a decision event fired. kNone for events that carry no reason.

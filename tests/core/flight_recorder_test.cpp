@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/flight_recorder.hpp"
+#include "util/json.hpp"
+
+namespace telea {
+namespace {
+
+TEST(FlightRecorder, RingKeepsNewestAndCountsDrops) {
+  FlightRecorder rec(3);
+  EXPECT_EQ(rec.capacity(), 3u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.record(i, FlightEvent::kForwardDecision, i, 0);
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first, holding the newest three records.
+  EXPECT_EQ(events.front().a, 2u);
+  EXPECT_EQ(events.back().a, 4u);
+}
+
+TEST(FlightRecorder, CapacityFloorsAtOne) {
+  FlightRecorder rec(0);
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(1, FlightEvent::kReboot, 0, 0);
+  rec.record(2, FlightEvent::kBacktrack, 7, 3);
+  ASSERT_EQ(rec.snapshot().size(), 1u);
+  EXPECT_EQ(rec.snapshot().front().event, FlightEvent::kBacktrack);
+}
+
+TEST(FlightRecorder, EventNamesAreStable) {
+  EXPECT_STREQ(flight_event_name(FlightEvent::kForwardDecision),
+               "forward_decision");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kSuppress), "suppress");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kBacktrack), "backtrack");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kAckTimeout), "ack_timeout");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kGiveUp), "give_up");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kParentChange), "parent_change");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kCodeChange), "code_change");
+  EXPECT_STREQ(flight_event_name(FlightEvent::kReboot), "reboot");
+}
+
+TEST(FlightRecorder, DumpRendersAsJsonAndText) {
+  FlightRecorder rec(8);
+  rec.record(1'000'000, FlightEvent::kAckTimeout, 42, 9);
+  rec.record(2'500'000, FlightEvent::kGiveUp, 42, 3);
+
+  FlightDump dump;
+  dump.time = 3'000'000;
+  dump.node = 17;
+  dump.trigger = "command_give_up";
+  dump.events = rec.snapshot();
+  dump.dropped = rec.total_recorded() - dump.events.size();
+
+  const std::string json = render_flight_dump_json(dump);
+  const auto doc = JsonValue::parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  EXPECT_DOUBLE_EQ(doc->number_or("node", 0), 17.0);
+  EXPECT_EQ(doc->string_or("trigger", ""), "command_give_up");
+  const JsonValue* events = doc->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 2u);
+  EXPECT_EQ(events->as_array()[0].string_or("event", ""), "ack_timeout");
+  EXPECT_DOUBLE_EQ(events->as_array()[1].number_or("a", 0), 42.0);
+
+  const std::string text = render_flight_dump_text(dump);
+  EXPECT_NE(text.find("command_give_up"), std::string::npos);
+  EXPECT_NE(text.find("give_up"), std::string::npos);
+  EXPECT_NE(text.find("node 17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace telea

@@ -67,5 +67,37 @@ TEST(ChurnSoak, RetriesDeliverAtLeast95PercentAndBeatFireAndForget) {
                                     cfg, with_retries, without));
 }
 
+// Satellite to the health-telemetry tentpole: the sink's health model must
+// keep most of a churning deployment fresh. Outage windows close well before
+// the drain, so by the end every node has had several telemetry periods to
+// report back in — coverage materially below 1.0 would mean staleness
+// tracking (or the piggyback path) breaks under faults.
+TEST(ChurnSoak, HealthCoverageSurvivesChurn) {
+  ChurnSoakConfig cfg;
+  cfg.nodes = 20;
+  cfg.side_m = 80.0;
+  cfg.seed = 7;
+  cfg.warmup = 10 * kMinute;
+  cfg.duration = 20 * kMinute;
+  cfg.spans = false;  // keep this arm lean; spans are covered above
+  cfg.health = true;
+  cfg.health_period = 60 * kSecond;
+
+  const ChurnSoakResult result = run_churn_soak(cfg);
+
+  EXPECT_GE(result.faults_injected, 8u);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_EQ(result.health_tracked, cfg.nodes - 1)
+      << "every non-sink node must have reported at least once";
+  EXPECT_GE(result.health_coverage, 0.85)
+      << result.health_tracked << " tracked, coverage "
+      << result.health_coverage;
+  EXPECT_GT(result.health_reports, result.health_tracked)
+      << "steady-state reporting, not just one boot-time report each";
+  // In-band accounting: every report that reached the sink cost exactly the
+  // 8-byte piggyback, never a packet of its own.
+  EXPECT_GE(result.health_bytes, result.health_reports * 8);
+}
+
 }  // namespace
 }  // namespace telea

@@ -1,0 +1,183 @@
+// End-to-end acceptance for the in-band health telemetry + flight recorder
+// subsystems (PR 6 tentpole):
+//   - a 225-node tight grid with health on reaches >= 95% coverage with
+//     staleness under two telemetry periods at steady state,
+//   - telemetry adds bytes but zero extra packets (same-seed A/B run),
+//   - flight dumps fire on state-loss reboot, on command give-up, and on a
+//     fault-injected invariant violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/controller.hpp"
+#include "harness/faults.hpp"
+#include "harness/network.hpp"
+#include "topo/topology.hpp"
+
+namespace telea {
+namespace {
+
+using namespace time_literals;
+
+NetworkConfig line_cfg(std::size_t nodes, std::uint64_t seed) {
+  NetworkConfig c;
+  c.topology = make_line(nodes, 22.0);
+  c.seed = seed;
+  c.protocol = ControlProtocol::kReTele;
+  return c;
+}
+
+std::uint64_t total_data_originated(Network& net) {
+  std::uint64_t total = 0;
+  for (NodeId n = 1; n < static_cast<NodeId>(net.size()); ++n) {
+    total += net.node(n).ctp().stats().data_originated;
+  }
+  return total;
+}
+
+// The ISSUE acceptance run: health=on in the paper's 225-node tight grid.
+// Coverage counts only *fresh* entries (age < 2 telemetry periods), so the
+// >= 95% bar is simultaneously the staleness bar.
+TEST(HealthE2E, TightGridCoverageAtSteadyState) {
+  NetworkConfig cfg;
+  cfg.topology = make_tight_grid(1);
+  cfg.seed = 1;
+  Network net(cfg);
+  // Telemetry rides the data traffic, so the period matches the IPI. The
+  // IPI itself must stay within what 224 duty-cycled senders can funnel
+  // into one sink — 120 s (~1.9 pkt/s aggregate) is sustainable where the
+  // dense grid congests and drops at 30 s.
+  NetworkHealthConfig hcfg;
+  hcfg.period = 120_s;
+  NetworkHealthModel& model = net.enable_health(hcfg);
+  net.start();
+  net.run_for(6_min);  // let CTP converge before offering traffic
+  net.start_data_collection(120_s);
+  net.run_for(12_min);  // several telemetry periods of steady state
+
+  const SimTime now = net.sim().now();
+  const double coverage = model.coverage(now);
+  EXPECT_GE(coverage, 0.95) << "stale: " << model.stale_nodes(now).size()
+                            << ", unseen: " << model.unseen_nodes().size()
+                            << ", reports: " << model.stats().reports;
+  EXPECT_EQ(model.expected_nodes(), net.size() - 1);
+  // Every piggybacked byte the sink saw is 8 bytes per report, accepted or
+  // dropped-as-stale — the exact in-band overhead the metrics export.
+  EXPECT_EQ(model.stats().bytes,
+            (model.stats().reports + model.stats().stale_dropped) *
+                msg::kHealthReportBytes);
+  EXPECT_GT(model.stats().reports, net.size());
+}
+
+// "Zero new packets": the same seeded run with health on originates exactly
+// as many CTP data packets as with health off — telemetry rides existing
+// traffic. Originations are timer-driven, so the counts must match exactly.
+TEST(HealthE2E, ZeroExtraPacketsSameSeed) {
+  std::uint64_t originated_off = 0;
+  {
+    Network net(line_cfg(8, 77));
+    net.start();
+    net.run_for(4_min);
+    net.start_data_collection(30_s);
+    net.run_for(6_min);
+    originated_off = total_data_originated(net);
+  }
+
+  Network net(line_cfg(8, 77));
+  NetworkHealthConfig hcfg;
+  hcfg.period = 60_s;
+  NetworkHealthModel& model = net.enable_health(hcfg);
+  net.start();
+  net.run_for(4_min);
+  net.start_data_collection(30_s);
+  net.run_for(6_min);
+
+  EXPECT_EQ(total_data_originated(net), originated_off);
+  EXPECT_GT(model.stats().reports, 0u);
+  EXPECT_GT(model.stats().bytes, 0u);
+}
+
+TEST(HealthE2E, FlightDumpOnStateLossReboot) {
+  Network net(line_cfg(5, 9));
+  net.enable_flight_recorders();
+  std::size_t callbacks = 0;
+  net.on_flight_dump = [&callbacks](const FlightDump&) { ++callbacks; };
+  net.start();
+  net.run_for(5_min);
+  net.start_data_collection(30_s);
+  net.run_for(3_min);
+
+  net.node(2).reboot_with_state_loss();
+  ASSERT_FALSE(net.flight_dumps().empty());
+  const FlightDump& dump = net.flight_dumps().back();
+  EXPECT_EQ(dump.node, 2);
+  EXPECT_EQ(dump.trigger, "reboot");
+  EXPECT_FALSE(dump.events.empty())
+      << "a live node must have recorded forwarding/parent events";
+  EXPECT_EQ(callbacks, net.flight_dumps().size());
+}
+
+TEST(HealthE2E, FlightDumpOnCommandGiveUp) {
+  Network net(line_cfg(4, 8));
+  net.enable_flight_recorders();
+  ControllerRetryConfig retry;
+  retry.ack_timeout = 10_s;
+  retry.max_backoff = 20_s;
+  retry.max_retries = 2;
+  retry.escalate_after = 1;
+  Controller controller(net, retry);
+  net.start();
+  net.run_for(4_min);
+  net.node(3).kill();
+  ASSERT_TRUE(controller.send_command(3, 0x44).has_value());
+  net.run_for(4_min);
+
+  const auto& dumps = net.flight_dumps();
+  const bool give_up_dump =
+      std::any_of(dumps.begin(), dumps.end(), [](const FlightDump& d) {
+        return d.node == 3 && d.trigger == "command_give_up";
+      });
+  EXPECT_TRUE(give_up_dump) << dumps.size() << " dumps, none for the give-up";
+}
+
+// A fault-injected addressing corruption trips the invariant engine; the
+// wired-up trigger must snapshot the offending node's ring.
+TEST(HealthE2E, FlightDumpOnInvariantViolation) {
+  Network net(line_cfg(5, 32));
+  InvariantConfig icfg;
+  icfg.checkpoint_interval = 15_s;
+  net.enable_invariants(icfg);
+  net.enable_flight_recorders();
+  net.start();
+  net.run_for(6_min);
+  ASSERT_TRUE(net.node(4).tele()->addressing().has_code());
+
+  FaultPlan plan;
+  plan.corrupt_path_code(net.sim().now() + 1_s, 4, /*bit=*/0);
+  plan.apply(net);
+  net.run_for(2 * icfg.checkpoint_interval);
+
+  const auto& dumps = net.flight_dumps();
+  const bool invariant_dump =
+      std::any_of(dumps.begin(), dumps.end(), [](const FlightDump& d) {
+        return d.node == 4 && d.trigger.rfind("invariant:", 0) == 0;
+      });
+  EXPECT_TRUE(invariant_dump) << dumps.size() << " dumps, none invariant";
+}
+
+// Re-Tele detour selection consults the health model when one is live: a
+// suggestion must still come back on a healthy converged network (the bias
+// must never make detours impossible).
+TEST(HealthE2E, DetourSuggestionStillWorksWithHealthBias) {
+  Network net(line_cfg(5, 21));
+  net.enable_health();
+  net.start();
+  net.run_for(5_min);
+  net.start_data_collection(30_s);
+  net.run_for(5_min);
+  ASSERT_TRUE(net.node(4).tele()->addressing().has_code());
+  EXPECT_TRUE(net.suggest_detour(4).has_value());
+}
+
+}  // namespace
+}  // namespace telea

@@ -76,6 +76,24 @@ TEST(Metrics, HistogramQuantileInterpolatesInsideBuckets) {
   EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
 }
 
+TEST(Metrics, HistogramQuantileSingleSampleReturnsSampleValue) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("telea_q_single", {0.0, 100.0});
+  h.observe(7.0);
+  // Interpolating the lone sample's bucket used to answer 50 for p50 — a
+  // value never observed. One sample IS every quantile.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+
+  // A histogram with no finite bucket puts everything in +Inf; the mean is
+  // the only bounded answer (this used to report 0).
+  Histogram& unbounded = reg.histogram("telea_q_unbounded", {});
+  unbounded.observe(3.0);
+  unbounded.observe(5.0);
+  EXPECT_DOUBLE_EQ(unbounded.quantile(0.5), 4.0);
+}
+
 TEST(Metrics, HistogramQuantileSpansMultipleBuckets) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("telea_q_multi", {1.0, 2.0, 4.0});

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "bench_compare/compare.hpp"
+
+namespace telea::benchcmp {
+namespace {
+
+// A minimal TextTable::render_json document, the format the bench binaries
+// emit into bench_results/.
+constexpr const char* kBaselineJson = R"({
+  "name": "fig10_latency",
+  "headers": ["protocol", "median latency s", "p90 s", "delivery"],
+  "rows": [
+    {"protocol": "tele", "median latency s": 2.0, "p90 s": 4.0,
+     "delivery": 0.99},
+    {"protocol": "re-tele", "median latency s": 2.5, "p90 s": 5.0,
+     "delivery": 0.98}
+  ]
+})";
+
+Table parse_or_die(const char* text) {
+  const auto table = parse_table_json(text);
+  EXPECT_TRUE(table.has_value()) << text;
+  return table.value_or(Table{});
+}
+
+TEST(BenchCompare, ParsesTableJson) {
+  const Table t = parse_or_die(kBaselineJson);
+  EXPECT_EQ(t.name, "fig10_latency");
+  ASSERT_EQ(t.headers.size(), 4u);
+  ASSERT_EQ(t.row_labels.size(), 2u);
+  EXPECT_EQ(t.row_labels[0], "tele");
+  EXPECT_EQ(t.row_labels[1], "re-tele");
+  EXPECT_DOUBLE_EQ(t.values[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(t.values[1][2], 5.0);
+
+  EXPECT_FALSE(parse_table_json("not json").has_value());
+  EXPECT_FALSE(parse_table_json("{\"name\": \"x\"}").has_value());
+}
+
+TEST(BenchCompare, LowerIsBetterMatchesGateColumns) {
+  EXPECT_TRUE(lower_is_better("median latency s"));
+  EXPECT_TRUE(lower_is_better("P90 s"));
+  EXPECT_TRUE(lower_is_better("duty %"));
+  EXPECT_TRUE(lower_is_better("tx per command"));
+  EXPECT_FALSE(lower_is_better("delivery"));
+  EXPECT_FALSE(lower_is_better("protocol"));
+}
+
+TEST(BenchCompare, FlagsRegressionsBeyondTolerance) {
+  const Table baseline = parse_or_die(kBaselineJson);
+  Table current = baseline;
+  current.values[0][1] = 2.5;   // +25% median latency: regression
+  current.values[1][2] = 5.3;   // +6% p90: inside the 10% tolerance
+  current.values[0][3] = 0.50;  // delivery is not lower-is-better: ignored
+
+  CompareReport report;
+  compare_tables(baseline, current, "fig10_latency", CompareOptions{}, report);
+  EXPECT_TRUE(report.errors.empty());
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].row, "tele");
+  EXPECT_EQ(report.regressions[0].column, "median latency s");
+  EXPECT_NEAR(report.regressions[0].change, 0.25, 1e-9);
+  EXPECT_FALSE(report.ok());
+
+  const std::string rendered = render_report(report, CompareOptions{});
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(rendered.find("median latency s"), std::string::npos);
+}
+
+TEST(BenchCompare, ReportsImprovementsWithoutFailing) {
+  const Table baseline = parse_or_die(kBaselineJson);
+  Table current = baseline;
+  current.values[0][1] = 1.0;  // -50% latency
+
+  CompareReport report;
+  compare_tables(baseline, current, "f", CompareOptions{}, report);
+  EXPECT_TRUE(report.regressions.empty());
+  ASSERT_EQ(report.improvements.size(), 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BenchCompare, MissingRowOrColumnIsAnError) {
+  const Table baseline = parse_or_die(kBaselineJson);
+
+  Table dropped_row = baseline;
+  dropped_row.row_labels.pop_back();
+  dropped_row.values.pop_back();
+  CompareReport report;
+  compare_tables(baseline, dropped_row, "f", CompareOptions{}, report);
+  EXPECT_FALSE(report.errors.empty());
+  EXPECT_FALSE(report.ok());
+
+  Table renamed_col = baseline;
+  renamed_col.headers[1] = "median latency ms";
+  CompareReport report2;
+  compare_tables(baseline, renamed_col, "f", CompareOptions{}, report2);
+  EXPECT_FALSE(report2.errors.empty());
+}
+
+TEST(BenchCompare, WiderToleranceAcceptsTheSameDelta) {
+  const Table baseline = parse_or_die(kBaselineJson);
+  Table current = baseline;
+  current.values[0][1] = 2.5;  // +25%
+
+  CompareOptions wide;
+  wide.tolerance = 0.30;
+  CompareReport report;
+  compare_tables(baseline, current, "f", wide, report);
+  EXPECT_TRUE(report.ok()) << render_report(report, wide);
+}
+
+}  // namespace
+}  // namespace telea::benchcmp

@@ -19,7 +19,12 @@ namespace fs = std::filesystem;
 class LintTreeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::path(::testing::TempDir()) / "telea_lint_tree";
+    // One directory per test case: ctest runs each discovered case as its
+    // own process, possibly in parallel — a shared tree would let one case
+    // remove_all another's files mid-scan.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("telea_lint_") + info->name());
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

@@ -1,0 +1,86 @@
+#pragma once
+
+// Benchmark regression gate (tools/bench_compare). Compares the JSON
+// summaries the bench binaries emit (TextTable::render_json: {"name",
+// "headers", "rows":[{header: cell}, ...]}) against a committed baseline
+// set, and flags any lower-is-better cell (latency/delay/percentile/duty
+// columns) that got worse by more than a tolerance. scripts/check.sh --bench
+// runs pinned bench invocations and gates on this; the baselines live in
+// bench/baselines/.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telea::benchcmp {
+
+/// One parsed bench summary table.
+struct Table {
+  std::string name;
+  std::vector<std::string> headers;
+  /// Row label (the first column's cell, rendered as text) per row.
+  std::vector<std::string> row_labels;
+  /// Numeric cells: values[row][col] for headers[col]; NaN = non-numeric.
+  std::vector<std::vector<double>> values;
+};
+
+/// Parses a TextTable JSON document. nullopt on malformed input.
+[[nodiscard]] std::optional<Table> parse_table_json(std::string_view text);
+
+/// Loads + parses a file. nullopt when unreadable or malformed.
+[[nodiscard]] std::optional<Table> load_table_json(const std::string& path);
+
+/// Whether a column holds a lower-is-better quantity (latency, delay,
+/// percentiles, duty cycle, tx counts) that the gate should watch.
+/// Case-insensitive substring match.
+[[nodiscard]] bool lower_is_better(std::string_view header);
+
+struct CellDelta {
+  std::string file;    // baseline file stem, e.g. "fig10_latency"
+  std::string row;     // row label
+  std::string column;  // header
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative change: (current - baseline) / baseline. Positive = worse.
+  double change = 0.0;
+};
+
+struct CompareOptions {
+  /// Relative worsening above this fraction is a regression.
+  double tolerance = 0.10;
+};
+
+struct CompareReport {
+  std::vector<CellDelta> regressions;
+  /// Cells that *improved* past the tolerance — informational, a nudge to
+  /// refresh the baseline so the gate stays tight.
+  std::vector<CellDelta> improvements;
+  std::vector<std::string> errors;  // missing/unreadable/mismatched files
+  std::size_t cells_compared = 0;
+  std::size_t files_compared = 0;
+  [[nodiscard]] bool ok() const noexcept {
+    return regressions.empty() && errors.empty();
+  }
+};
+
+/// Compares one current table against its baseline. Rows are matched by
+/// label, columns by header; rows/columns present on only one side are
+/// reported as errors (a renamed row silently skipping the gate would make
+/// the gate worthless).
+void compare_tables(const Table& baseline, const Table& current,
+                    const std::string& file, const CompareOptions& opts,
+                    CompareReport& out);
+
+/// Compares every *.json under `baseline_dir` against its same-named
+/// counterpart in `current_dir`. Extra files in `current_dir` (new benches
+/// without a baseline yet) are ignored.
+[[nodiscard]] CompareReport compare_dirs(const std::string& baseline_dir,
+                                         const std::string& current_dir,
+                                         const CompareOptions& opts);
+
+/// Human-readable report (one line per finding + summary).
+[[nodiscard]] std::string render_report(const CompareReport& report,
+                                        const CompareOptions& opts);
+
+}  // namespace telea::benchcmp

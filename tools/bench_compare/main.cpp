@@ -1,0 +1,53 @@
+// bench_compare — benchmark regression gate. Diffs a directory of fresh
+// bench summaries (TextTable JSON, as written by bench binaries into
+// $TELEA_RESULTS_DIR) against the committed baseline set and fails when any
+// lower-is-better cell (latency/delay/percentiles/duty/tx/energy) worsened
+// past the tolerance.
+//
+//   $ ./bench_compare baseline=bench/baselines current=bench_results
+//
+// Options (key=value):
+//   baseline=DIR     committed baseline summaries (required)
+//   current=DIR      freshly produced summaries (required)
+//   tolerance=0.10   relative worsening allowed before failing
+//
+// Exit codes: 0 within tolerance; 1 regression or missing/mismatched data;
+// 2 usage error.
+#include <cstdio>
+#include <string>
+
+#include "bench_compare/compare.hpp"
+#include "util/config.hpp"
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare baseline=DIR current=DIR "
+               "[tolerance=FRACTION]\n");
+  return 2;
+}
+
+int main(int argc, char** argv) {
+  const telea::Config cfg = telea::Config::from_args(argc - 1, argv + 1);
+  if (!cfg.positional().empty()) {
+    std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n",
+                 cfg.positional().front().c_str());
+    return usage();
+  }
+  const std::string baseline = cfg.get_string("baseline");
+  const std::string current = cfg.get_string("current");
+  telea::benchcmp::CompareOptions opts;
+  opts.tolerance = cfg.get_double("tolerance", opts.tolerance);
+  if (baseline.empty() || current.empty() || opts.tolerance < 0.0 ||
+      !cfg.unused_keys().empty()) {
+    for (const auto& key : cfg.unused_keys()) {
+      std::fprintf(stderr, "bench_compare: unknown option '%s'\n",
+                   key.c_str());
+    }
+    return usage();
+  }
+
+  const telea::benchcmp::CompareReport report =
+      telea::benchcmp::compare_dirs(baseline, current, opts);
+  std::printf("%s", telea::benchcmp::render_report(report, opts).c_str());
+  return report.ok() ? 0 : 1;
+}

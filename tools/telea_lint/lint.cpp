@@ -89,6 +89,8 @@ std::vector<EnumSpec> default_enum_specs() {
        "invariant_rule_name", "invariant_rule_from_name"},
       {"CommandOutcome", "src/harness/controller.hpp",
        "src/harness/controller.cpp", "command_outcome_name", ""},
+      {"FlightEvent", "src/core/flight_recorder.hpp",
+       "src/core/flight_recorder.cpp", "flight_event_name", ""},
   };
 }
 

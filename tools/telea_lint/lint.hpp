@@ -52,7 +52,7 @@ struct Options {
   std::filesystem::path root = ".";
   std::vector<EnumSpec> enums = default_enum_specs();
   std::string metrics_doc = "docs/OBSERVABILITY.md";
-  std::vector<std::string> metric_scan_dirs = {"src"};
+  std::vector<std::string> metric_scan_dirs = {"src", "tools"};
   // trace-docs: where TraceEvent lives and which doc table must list it.
   std::string trace_header = "src/stats/trace.hpp";
   std::string trace_source = "src/stats/trace.cpp";

@@ -1,0 +1,232 @@
+// telea_top — operator's view of the network's in-band health telemetry.
+// Consumes the snapshot JSONL that `telea_sim health=FILE` (or
+// Network::append_health_snapshot) appends one line per period, renders the
+// *latest* snapshot as a per-node table plus aggregate summary, and can
+// follow a growing file. Also renders flight-recorder dump JSONL
+// (`telea_sim flightrec=FILE`) for post-mortem reading.
+//
+//   $ ./telea_top health=run.health.jsonl
+//   $ ./telea_top health=run.health.jsonl watch=true interval=2
+//   $ ./telea_top flightrec=run.flight.jsonl
+//
+// Options (key=value):
+//   health=FILE     health snapshot JSONL; the last parsable line is shown
+//   flightrec=FILE  flight dump JSONL; every dump is rendered in order
+//   watch=false     health only: poll FILE and re-render when it grows
+//   interval=2      watch poll interval in seconds
+//   limit=0         show only the N stalest nodes (0 = all, sorted by id)
+//
+// Exit codes: 0 ok; 1 no parsable snapshot/dump in the input; 2 usage error.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "stats/table.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using telea::JsonValue;
+using telea::TextTable;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: telea_top health=FILE [watch=BOOL] [interval=S] "
+               "[limit=N]\n"
+               "       telea_top flightrec=FILE\n");
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Last parsable JSON object line of a JSONL file — the newest snapshot.
+std::optional<JsonValue> last_json_line(const std::string& text) {
+  std::optional<JsonValue> last;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    if (!line.empty()) {
+      if (auto v = JsonValue::parse(line);
+          v.has_value() && v->type() == JsonValue::Type::kObject) {
+        last = std::move(v);
+      }
+    }
+    start = end + 1;
+  }
+  return last;
+}
+
+void render_snapshot(const JsonValue& snap, std::size_t limit) {
+  const double now_s = snap.number_or("t", 0.0);
+  const double period_s = snap.number_or("period_s", 0.0);
+  const double stale_after_s = snap.number_or("stale_after_s", 0.0);
+  std::printf("t=%.0fs  period=%.0fs  stale-after=%.0fs\n", now_s, period_s,
+              stale_after_s);
+  std::printf(
+      "coverage %s  fresh %.0f / tracked %.0f / expected %.0f   "
+      "reports %.0f (%.0f stale-dropped)  in-band bytes %.0f\n",
+      TextTable::fmt_pct(snap.number_or("coverage", 0.0), 1).c_str(),
+      snap.number_or("fresh", 0.0), snap.number_or("tracked", 0.0),
+      snap.number_or("expected", 0.0), snap.number_or("reports", 0.0),
+      snap.number_or("stale_dropped", 0.0), snap.number_or("bytes", 0.0));
+
+  const JsonValue* nodes = snap.find("nodes");
+  if (nodes == nullptr || nodes->type() != JsonValue::Type::kArray) return;
+  std::vector<const JsonValue*> rows;
+  rows.reserve(nodes->as_array().size());
+  for (const JsonValue& n : nodes->as_array()) {
+    if (n.type() == JsonValue::Type::kObject) rows.push_back(&n);
+  }
+  if (limit > 0 && rows.size() > limit) {
+    // Operator triage: the stalest nodes are the interesting ones.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const JsonValue* a, const JsonValue* b) {
+                       return a->number_or("age_s", 0.0) >
+                              b->number_or("age_s", 0.0);
+                     });
+    rows.resize(limit);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const JsonValue* a, const JsonValue* b) {
+                       return a->number_or("id", 0.0) < b->number_or("id", 0.0);
+                     });
+  }
+
+  TextTable table({"node", "age s", "state", "duty", "etx", "code len",
+                   "txq hwm", "fwdq hwm", "parent epoch", "energy mJ",
+                   "updates"});
+  for (const JsonValue* n : rows) {
+    const double age = n->number_or("age_s", 0.0);
+    const bool fresh = stale_after_s <= 0.0 || age <= stale_after_s;
+    table.row({TextTable::fmt(n->number_or("id", 0.0), 0),
+               TextTable::fmt(age, 0), fresh ? "fresh" : "STALE",
+               TextTable::fmt_pct(n->number_or("duty", 0.0), 1),
+               TextTable::fmt(n->number_or("etx10", 0.0) / 10.0, 1),
+               TextTable::fmt(n->number_or("code_len", 0.0), 0),
+               TextTable::fmt(n->number_or("txq_hwm", 0.0), 0),
+               TextTable::fmt(n->number_or("fwdq_hwm", 0.0), 0),
+               TextTable::fmt(n->number_or("parent_epoch", 0.0), 0),
+               TextTable::fmt(n->number_or("energy_mj", 0.0), 0),
+               TextTable::fmt(n->number_or("updates", 0.0), 0)});
+  }
+  table.print();
+}
+
+int render_flight_file(const std::string& text) {
+  std::size_t dumps = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const auto v = JsonValue::parse(line);
+    if (!v.has_value() || v->type() != JsonValue::Type::kObject) continue;
+    ++dumps;
+    std::printf("flight dump #%zu: node %.0f at t=%.3fs trigger=%s "
+                "(%.0f earlier events dropped)\n",
+                dumps, v->number_or("node", 0.0), v->number_or("t", 0.0),
+                v->string_or("trigger", "?").c_str(),
+                v->number_or("dropped", 0.0));
+    const JsonValue* events = v->find("events");
+    if (events == nullptr || events->type() != JsonValue::Type::kArray) {
+      continue;
+    }
+    for (const JsonValue& e : events->as_array()) {
+      std::printf("  %10.3fs  %-16s a=%-6.0f b=%.0f\n",
+                  e.number_or("t", 0.0),
+                  e.string_or("event", "?").c_str(), e.number_or("a", 0.0),
+                  e.number_or("b", 0.0));
+    }
+  }
+  if (dumps == 0) {
+    std::fprintf(stderr, "telea_top: no parsable flight dumps\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const telea::Config cfg = telea::Config::from_args(argc - 1, argv + 1);
+  if (!cfg.positional().empty()) {
+    std::fprintf(stderr, "telea_top: unexpected argument '%s'\n",
+                 cfg.positional().front().c_str());
+    return usage();
+  }
+  const std::string health_path = cfg.get_string("health");
+  const std::string flight_path = cfg.get_string("flightrec");
+  const bool watch = cfg.get_bool("watch", false);
+  const double interval_s = cfg.get_double("interval", 2.0);
+  const auto limit = static_cast<std::size_t>(cfg.get_int("limit", 0));
+  if (!cfg.unused_keys().empty() ||
+      (health_path.empty() && flight_path.empty())) {
+    for (const auto& key : cfg.unused_keys()) {
+      std::fprintf(stderr, "telea_top: unknown option '%s'\n", key.c_str());
+    }
+    return usage();
+  }
+
+  if (!flight_path.empty()) {
+    const auto text = read_file(flight_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "telea_top: cannot read %s\n", flight_path.c_str());
+      return 2;
+    }
+    const int rc = render_flight_file(*text);
+    if (rc != 0 || health_path.empty()) return rc;
+    std::printf("\n");
+  }
+
+  auto render_once = [&]() -> int {
+    const auto text = read_file(health_path);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "telea_top: cannot read %s\n", health_path.c_str());
+      return 2;
+    }
+    const auto snap = last_json_line(*text);
+    if (!snap.has_value()) {
+      std::fprintf(stderr, "telea_top: no parsable snapshot in %s\n",
+                   health_path.c_str());
+      return 1;
+    }
+    render_snapshot(*snap, limit);
+    return 0;
+  };
+
+  int rc = render_once();
+  if (!watch || rc == 2) return rc;
+
+  // Follow mode: re-render whenever the file grows. Uses file size, not
+  // wall-clock content timestamps, so it stays within the repo's
+  // no-wall-clock-entropy lint discipline.
+  std::error_code ec;
+  auto last_size = std::filesystem::file_size(health_path, ec);
+  for (;;) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(interval_s * 1000.0)));
+    const auto size = std::filesystem::file_size(health_path, ec);
+    if (ec || size == last_size) continue;
+    last_size = size;
+    std::printf("\n");
+    rc = render_once();
+    if (rc == 2) return rc;
+  }
+}
