@@ -23,6 +23,8 @@
 #   scripts/check.sh --fast       # plain + static only
 #   scripts/check.sh --san-only   # asan + thread only
 #   scripts/check.sh --static     # static analysis only
+#   scripts/check.sh --lint-fix   # apply telea_lint's mechanical fixes
+#                                 # (enum cases, doc rows), then report
 #   scripts/check.sh --bench      # bench regression gate only (pinned short
 #                                 # bench runs vs bench/baselines/, >10%
 #                                 # worsening on latency/duty columns fails)
@@ -39,11 +41,13 @@ run_plain=1
 run_san=1
 run_static=1
 run_bench=0
+run_lint_fix=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_san=0 ;;
     --san-only) run_plain=0; run_static=0 ;;
     --static) run_plain=0; run_san=0 ;;
+    --lint-fix) run_plain=0; run_san=0; run_static=0; run_lint_fix=1 ;;
     --bench) run_plain=0; run_san=0; run_static=0; run_bench=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
@@ -71,12 +75,20 @@ lint_results() {
   fi
 }
 
-static_stage() {
-  echo "== static analysis (docs/STATIC_ANALYSIS.md) =="
-  # telea_lint needs only its own two sources; build just that target.
+build_lint() {
+  # telea_lint needs only its own sources; build just that target.
   cmake -S "$repo" -B "$repo/build" >/dev/null
   cmake --build "$repo/build" -j "$jobs" --target telea_lint
-  "$repo/build/tools/telea_lint" --root "$repo"
+}
+
+static_stage() {
+  echo "== static analysis (docs/STATIC_ANALYSIS.md) =="
+  build_lint
+  # SARIF for code-scanning upload; the incremental cache keeps repeat runs
+  # (and CI runs restoring build/) warm. Both live in build/ — untracked.
+  "$repo/build/tools/telea_lint" --root "$repo" \
+    --sarif "$repo/build/telea_lint.sarif" \
+    --cache "$repo/build/telea_lint.cache"
 
   if command -v clang-tidy >/dev/null 2>&1; then
     # Changed files against the merge base when on a branch, else the full
@@ -142,6 +154,14 @@ fi
 
 if [ "$run_bench" = 1 ]; then
   bench_stage
+fi
+
+if [ "$run_lint_fix" = 1 ]; then
+  echo "== telea_lint --fix (mechanical fixes only) =="
+  build_lint
+  # Exit 1 here means findings remain that need a human; the fixes that
+  # could be applied mechanically already were.
+  "$repo/build/tools/telea_lint" --root "$repo" --fix
 fi
 
 if [ "$run_static" = 1 ]; then

@@ -255,8 +255,14 @@ void Addressing::send_tele_beacon() {
   msg::TeleBeacon full = build_tele_beacon();
   // Chunk the allocation table across frames when it would exceed the
   // 802.15.4 MPDU (a child absent from one chunk merely re-requests, which
-  // the parent answers idempotently).
+  // the parent answers idempotently). Worst case per chunk: a 31-bit parent
+  // code (4 bytes + length octet) + space/flags, then 5 bytes per entry.
+  constexpr std::size_t kBeaconFixedBytes = 7;
+  constexpr std::size_t kEntryBytes = 5;
   constexpr std::size_t kEntriesPerBeacon = 18;
+  static_assert(kBeaconFixedBytes + kEntriesPerBeacon * kEntryBytes <=
+                    kMaxPayloadBytes,
+                "allocation-table chunks must fit the 802.15.4 payload");
   std::size_t off = 0;
   do {
     msg::TeleBeacon chunk = full;

@@ -124,14 +124,14 @@ void GroupControl::send_branch(std::uint32_t group_seqno, std::uint16_t command,
                                const Forwarding::Candidate& relay,
                                std::vector<msg::GroupDest> dests,
                                unsigned attempt) {
-  // The 802.15.4 MPDU caps a frame at 127 bytes: chunk oversized branches
-  // (greedy fill; the tail recurses as its own sub-packet).
+  // Chunk branches that would exceed the 802.15.4 MPDU (greedy fill; the
+  // tail recurses as its own sub-packet).
   {
     msg::GroupControlPacket probe;
     probe.dests = dests;
     Frame sizing;
     sizing.payload = probe;
-    while (dests.size() > 1 && wire_size_bytes(sizing) > 127) {
+    while (dests.size() > 1 && wire_size_bytes(sizing) > kMaxMpduBytes) {
       std::vector<msg::GroupDest> tail;
       tail.push_back(std::move(dests.back()));
       dests.pop_back();

@@ -4,9 +4,6 @@ namespace telea {
 
 namespace {
 
-constexpr std::size_t kMacHeader = 11;  // 802.15.4 FCF+seq+addressing
-constexpr std::size_t kMacFooter = 2;   // FCS
-
 // Bytes needed to carry `bits` valid bits plus a length octet.
 std::size_t code_bytes(const BitString& code) noexcept {
   return 1 + (code.size() + 7) / 8;
@@ -75,7 +72,8 @@ struct PayloadSize {
 }  // namespace
 
 std::size_t wire_size_bytes(const Frame& frame) noexcept {
-  return kMacHeader + std::visit(PayloadSize{}, frame.payload) + kMacFooter;
+  return kMacHeaderBytes + std::visit(PayloadSize{}, frame.payload) +
+         kMacFooterBytes;
 }
 
 }  // namespace telea

@@ -10,6 +10,18 @@
 
 namespace telea {
 
+/// 802.15.4 frame budget. The MPDU caps a frame at 127 bytes; the MAC
+/// header (FCF + seq + addressing) and FCS footer leave 114 bytes of
+/// payload for any single frame. Protocols that batch variable-length
+/// content (allocation tables, group-control destination lists) must chunk
+/// against kMaxPayloadBytes — telea_lint's wire-format rule audits every
+/// wire struct's fixed fields against it.
+inline constexpr std::size_t kMacHeaderBytes = 11;
+inline constexpr std::size_t kMacFooterBytes = 2;
+inline constexpr std::size_t kMaxMpduBytes = 127;
+inline constexpr std::size_t kMaxPayloadBytes =
+    kMaxMpduBytes - kMacHeaderBytes - kMacFooterBytes;
+
 /// Wire formats for every protocol in the stack. These are pure data — the
 /// protocol logic lives in src/net (CTP, Trickle), src/core (TeleAdjusting)
 /// and src/proto (Drip, RPL). Keeping them together gives the radio medium a

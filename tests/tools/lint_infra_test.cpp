@@ -1,0 +1,248 @@
+// Tests for telea_lint's production infrastructure: fingerprint stability,
+// the baseline accept/diff workflow, SARIF rendering, the incremental cache
+// and the mechanical --fix insertions.
+#include "telea_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace telea::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintInfraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("telea_lint_infra_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    opts_.root = root_;
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << text;
+  }
+
+  std::string read(const std::string& rel) {
+    std::ifstream in(root_ / rel);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  fs::path root_;
+  Options opts_;
+};
+
+// --- fingerprints -----------------------------------------------------------
+
+TEST_F(LintInfraTest, FingerprintSurvivesWhitespaceOnlyEdits) {
+  write("src/net/use.cpp",
+        "void f() {\n"
+        "  BitString code;\n"
+        "  code.append_bits(3u, 2u);\n"
+        "}\n");
+  auto before = check_code_arith(opts_);
+  annotate_fingerprints(opts_.root, before);
+  ASSERT_EQ(before.size(), 1u);
+
+  // Reindent the offending line and push it down two lines: the finding
+  // moves but its identity must not.
+  write("src/net/use.cpp",
+        "\n\n"
+        "void f() {\n"
+        "  BitString code;\n"
+        "      code.append_bits(3u,   2u);\n"
+        "}\n");
+  auto after = check_code_arith(opts_);
+  annotate_fingerprints(opts_.root, after);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(before[0].line, after[0].line);
+  EXPECT_EQ(before[0].fingerprint, after[0].fingerprint);
+}
+
+TEST_F(LintInfraTest, FingerprintDistinguishesRuleFileAndContent) {
+  Finding a{"src/a.cpp", 0, "layering", "msg"};
+  Finding b{"src/b.cpp", 0, "layering", "msg"};
+  Finding c{"src/a.cpp", 0, "wire-format", "msg"};
+  std::vector<Finding> v{a, b, c};
+  annotate_fingerprints(root_, v);
+  EXPECT_NE(v[0].fingerprint, v[1].fingerprint);
+  EXPECT_NE(v[0].fingerprint, v[2].fingerprint);
+  EXPECT_EQ(v[0].fingerprint.size(), 16u);
+}
+
+// --- baseline ---------------------------------------------------------------
+
+TEST_F(LintInfraTest, BaselineRoundTripSuppressesAndReportsStale) {
+  std::vector<Finding> findings{
+      {"src/a.cpp", 1, "layering", "edge one"},
+      {"src/b.cpp", 2, "wire-format", "mismatch two"},
+  };
+  annotate_fingerprints(root_, findings);
+  const fs::path baseline = root_ / "lint_baseline.txt";
+  ASSERT_TRUE(write_baseline(baseline, findings));
+
+  const auto loaded = load_baseline(baseline);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+
+  // Same findings: all suppressed, nothing active, nothing stale.
+  BaselineDiff same = apply_baseline(findings, *loaded);
+  EXPECT_TRUE(same.active.empty());
+  EXPECT_EQ(same.suppressed, 2u);
+  EXPECT_TRUE(same.stale.empty());
+
+  // One fixed, one new: the fixed entry goes stale, the new one is active.
+  std::vector<Finding> next{findings[0],
+                            {"src/c.cpp", 3, "code-arith", "fresh"}};
+  annotate_fingerprints(root_, next);
+  BaselineDiff diff = apply_baseline(next, *loaded);
+  ASSERT_EQ(diff.active.size(), 1u);
+  EXPECT_EQ(diff.active[0].file, "src/c.cpp");
+  EXPECT_EQ(diff.suppressed, 1u);
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_EQ(diff.stale[0], findings[1].fingerprint);
+}
+
+TEST_F(LintInfraTest, BaselineLoaderSkipsCommentsAndMissingFileIsError) {
+  write("b.txt", "# comment\n\nabc123 layering src/a.cpp msg\n");
+  const auto loaded = load_baseline(root_ / "b.txt");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0], "abc123");
+  EXPECT_FALSE(load_baseline(root_ / "missing.txt").has_value());
+}
+
+// --- SARIF ------------------------------------------------------------------
+
+TEST_F(LintInfraTest, SarifCarriesRuleIdLocationAndFingerprint) {
+  std::vector<Finding> findings{
+      {"src/a.cpp", 7, "layering", "a \"quoted\" message"}};
+  annotate_fingerprints(root_, findings);
+  const std::string sarif = render_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"layering\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(sarif.find("a \\\"quoted\\\" message"), std::string::npos);
+  EXPECT_NE(sarif.find(findings[0].fingerprint), std::string::npos);
+  // Every registered rule is described in the driver block.
+  for (const RuleInfo& r : rule_registry()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(r.name) + "\""),
+              std::string::npos);
+  }
+}
+
+// --- incremental cache ------------------------------------------------------
+
+TEST_F(LintInfraTest, CacheHitsOnUnchangedTreeAndInvalidatesOnEdit) {
+  write("src/net/use.cpp",
+        "void f() {\n"
+        "  BitString code;\n"
+        "  code.append_bits(3u, 2u);\n"
+        "}\n");
+  const fs::path cache = root_ / "lint_cache.txt";
+
+  CacheResult first = run_all_cached(opts_, cache);
+  EXPECT_FALSE(first.hit);
+
+  CacheResult second = run_all_cached(opts_, cache);
+  EXPECT_TRUE(second.hit);
+  ASSERT_EQ(second.findings.size(), first.findings.size());
+  for (std::size_t i = 0; i < first.findings.size(); ++i) {
+    EXPECT_EQ(second.findings[i].rule, first.findings[i].rule);
+    EXPECT_EQ(second.findings[i].file, first.findings[i].file);
+    EXPECT_EQ(second.findings[i].message, first.findings[i].message);
+    EXPECT_EQ(second.findings[i].fingerprint, first.findings[i].fingerprint);
+  }
+
+  // A content edit (different size, so no mtime-granularity dependence)
+  // must invalidate the cached run.
+  write("src/net/use.cpp",
+        "void f() {\n"
+        "  BitString code;\n"
+        "  bool ok = code.append_bits(3u, 2u);\n"
+        "  (void)ok;\n"
+        "}\n");
+  CacheResult third = run_all_cached(opts_, cache);
+  EXPECT_FALSE(third.hit);
+  EXPECT_LT(third.findings.size(), first.findings.size());
+}
+
+// --- mechanical fixes -------------------------------------------------------
+
+TEST_F(LintInfraTest, FixInsertsMissingEnumCase) {
+  write("src/color.hpp",
+        "enum class Color : std::uint8_t {\n"
+        "  kRed,\n"
+        "  kBlueGreen,\n"
+        "};\n");
+  write("src/color.cpp",
+        "const char* color_name(Color c) {\n"
+        "  switch (c) {\n"
+        "    case Color::kRed: return \"red\";\n"
+        "  }\n"
+        "  return \"?\";\n"
+        "}\n");
+  opts_.enums = {{"Color", "src/color.hpp", "src/color.cpp", "color_name", ""}};
+  auto findings = check_enum_strings(opts_);
+  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_EQ(findings[0].fix_kind, "insert-enum-case");
+
+  EXPECT_EQ(apply_fixes(opts_.root, findings), 1u);
+  EXPECT_NE(read("src/color.cpp")
+                .find("case Color::kBlueGreen: return \"blue_green\";"),
+            std::string::npos);
+  EXPECT_TRUE(check_enum_strings(opts_).empty());
+}
+
+TEST_F(LintInfraTest, FixAppendsTraceDocRowAndMetricBullet) {
+  write("src/stats/trace.hpp", "enum class TraceEvent { kPing };\n");
+  write("src/stats/trace.cpp",
+        "const char* trace_event_name(TraceEvent e) {\n"
+        "  switch (e) {\n"
+        "    case TraceEvent::kPing: return \"ping\";\n"
+        "  }\n"
+        "  return \"?\";\n"
+        "}\n");
+  write("src/stats/metrics.cpp",
+        "void reg(MetricsRegistry& m) { m.counter(\"telea_ping_total\"); }\n");
+  write("docs/OBSERVABILITY.md",
+        "# Observability\n"
+        "\n"
+        "| event | a | b | emitted by |\n"
+        "|---|---|---|---|\n"
+        "\n"
+        "Exported names:\n"
+        "\n"
+        "- `telea_other_total` — something else\n");
+  opts_.enums.clear();
+
+  auto findings = run_all(opts_);
+  std::vector<Finding> fixable;
+  for (const Finding& f : findings) {
+    if (!f.fix_kind.empty()) fixable.push_back(f);
+  }
+  ASSERT_EQ(fixable.size(), 2u);
+  EXPECT_EQ(apply_fixes(opts_.root, fixable), 2u);
+
+  const std::string doc = read("docs/OBSERVABILITY.md");
+  EXPECT_NE(doc.find("| `ping` |"), std::string::npos);
+  EXPECT_NE(doc.find("- `telea_ping_total`"), std::string::npos);
+  EXPECT_TRUE(check_trace_docs(opts_).empty());
+  EXPECT_TRUE(check_metric_docs(opts_).empty());
+}
+
+}  // namespace
+}  // namespace telea::lint

@@ -1,0 +1,308 @@
+// Tests for telea_lint's semantic rule families (layering, wire-format,
+// code-arith) and the shared index underneath them. Each rule gets a seeded
+// mini-tree where it must fire (right file, right rule) and a clean variant
+// where it must stay quiet.
+#include "telea_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace telea::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintSemanticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One directory per test case (cases may run in parallel processes).
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("telea_lint_sem_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    opts_.root = root_;
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << text;
+  }
+
+  static std::size_t count_rule(const std::vector<Finding>& findings,
+                                const std::string& rule) {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [&rule](const Finding& f) { return f.rule == rule; }));
+  }
+
+  fs::path root_;
+  Options opts_;
+};
+
+// --- index ------------------------------------------------------------------
+
+TEST(IndexTest, TokenizerTracksLinesAndKeepsRawStrings) {
+  const auto toks = tokenize("int a = 3;\nconst char* s = \"x\\\"y\";\n");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1u);
+  bool found_string = false;
+  for (const Token& t : toks) {
+    if (t.kind == Token::Kind::kString) {
+      found_string = true;
+      EXPECT_EQ(t.text, "x\\\"y");  // raw escapes preserved
+      EXPECT_EQ(t.line, 2u);
+    }
+  }
+  EXPECT_TRUE(found_string);
+}
+
+TEST(IndexTest, EvaluatesConstantsIncludingDerivedOnes) {
+  const FileIndex idx = build_file_index(
+      "x.hpp",
+      "inline constexpr std::size_t kA = 127;\n"
+      "inline constexpr std::size_t kB = 11 + 2;\n"
+      "inline constexpr std::size_t kC = kA - kB;\n");
+  ASSERT_NE(idx.find_constant("kC"), nullptr);
+  EXPECT_EQ(idx.find_constant("kC")->value, 114);
+}
+
+TEST(IndexTest, IndexesStructFieldsNotEnumerators) {
+  const FileIndex idx = build_file_index(
+      "x.hpp",
+      "enum class Mode : std::uint8_t { kA, kB };\n"
+      "struct Wire {\n"
+      "  std::uint8_t a = 0;\n"
+      "  std::uint16_t b = 0;\n"
+      "  bool flag = false;\n"
+      "  void method();\n"
+      "};\n");
+  const StructDecl* s = idx.find_struct("Wire");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->fields.size(), 3u);
+  EXPECT_EQ(s->fields[1].name, "b");
+  EXPECT_EQ(idx.find_struct("Mode"), nullptr);
+}
+
+TEST(IndexTest, RecordsFunctionBodySpans) {
+  const FileIndex idx = build_file_index(
+      "x.cpp",
+      "int helper(int v) { return v + 1; }\n"
+      "void render(std::string& out) {\n"
+      "  out += \"{\\\"key\\\":1}\";\n"
+      "}\n");
+  ASSERT_NE(idx.find_function("helper"), nullptr);
+  ASSERT_NE(idx.find_function("render"), nullptr);
+  EXPECT_EQ(idx.find_function("render")->line, 2u);
+}
+
+// --- layering ---------------------------------------------------------------
+
+TEST_F(LintSemanticTest, LayeringFlagsIllegalEdgeWithIncludeChain) {
+  write("src/util/helper.hpp", "#pragma once\n#include \"net/thing.hpp\"\n");
+  write("src/net/thing.hpp", "#pragma once\n");
+  const auto findings = check_layering(opts_);
+  ASSERT_EQ(count_rule(findings, "layering"), 1u);
+  EXPECT_EQ(findings[0].file, "src/util/helper.hpp");
+  EXPECT_NE(findings[0].message.find("src/net/thing.hpp"), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, LayeringFlagsIncludeCycleOnce) {
+  // A deliberate two-file cycle inside one layer: legal edges, still broken.
+  write("src/net/a.hpp", "#pragma once\n#include \"net/b.hpp\"\n");
+  write("src/net/b.hpp", "#pragma once\n#include \"net/a.hpp\"\n");
+  const auto findings = check_layering(opts_);
+  ASSERT_EQ(count_rule(findings, "layering"), 1u);
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/net/a.hpp"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/net/b.hpp"), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, LayeringForbidsSrcDependingOnTools) {
+  write("src/core/x.cpp", "#include \"telea_lint/lint.hpp\"\n");
+  write("tools/telea_lint/lint.hpp", "#pragma once\n");
+  const auto findings = check_layering(opts_);
+  ASSERT_EQ(count_rule(findings, "layering"), 1u);
+  EXPECT_NE(findings[0].message.find("tools"), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, LayeringQuietOnLegalEdgesAndSystemIncludes) {
+  write("src/util/ids.hpp", "#pragma once\n#include <cstdint>\n");
+  write("src/radio/medium.hpp", "#pragma once\n#include \"util/ids.hpp\"\n");
+  write("src/net/ctp.hpp", "#pragma once\n#include \"radio/medium.hpp\"\n");
+  EXPECT_TRUE(check_layering(opts_).empty());
+}
+
+TEST_F(LintSemanticTest, LayeringFlagsDirectoryAbsentFromSpec) {
+  write("src/newlayer/x.hpp", "#pragma once\n");
+  const auto findings = check_layering(opts_);
+  ASSERT_EQ(count_rule(findings, "layering"), 1u);
+  EXPECT_NE(findings[0].message.find("newlayer"), std::string::npos);
+}
+
+// --- wire-format ------------------------------------------------------------
+
+TEST_F(LintSemanticTest, WireFormatFlagsSizePinMismatch) {
+  write("src/radio/packet.hpp",
+        "#pragma once\n"
+        "inline constexpr std::size_t kPingBytes = 4;\n"
+        "struct Ping {\n"
+        "  std::uint8_t a = 0;\n"
+        "  std::uint16_t b = 0;\n"  // 3 bytes declared, 4 documented
+        "};\n");
+  opts_.serde.clear();
+  const auto findings = check_wire_format(opts_);
+  ASSERT_EQ(count_rule(findings, "wire-format"), 1u);
+  EXPECT_NE(findings[0].message.find("kPingBytes"), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, WireFormatQuietWhenPinMatches) {
+  write("src/radio/packet.hpp",
+        "#pragma once\n"
+        "inline constexpr std::size_t kPingBytes = 3;\n"
+        "struct Ping {\n"
+        "  std::uint8_t a = 0;\n"
+        "  std::uint16_t b = 0;\n"
+        "};\n");
+  opts_.serde.clear();
+  EXPECT_TRUE(check_wire_format(opts_).empty());
+}
+
+TEST_F(LintSemanticTest, WireFormatFlagsPayloadBudgetOverflow) {
+  write("src/radio/packet.hpp",
+        "#pragma once\n"
+        "inline constexpr std::size_t kMaxPayloadBytes = 10;\n"
+        "struct Fat {\n"
+        "  std::uint64_t a = 0;\n"
+        "  std::uint64_t b = 0;\n"  // 16 > 10
+        "};\n");
+  opts_.serde.clear();
+  const auto findings = check_wire_format(opts_);
+  ASSERT_EQ(count_rule(findings, "wire-format"), 1u);
+  EXPECT_NE(findings[0].message.find("kMaxPayloadBytes"), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, WireFormatFlagsReaderKeyNeverWritten) {
+  write("src/stats/codec.cpp",
+        "void render(std::string& out) {\n"
+        "  out += \"{\\\"t\\\":1,\\\"node\\\":2}\";\n"
+        "}\n"
+        "void parse(const JsonValue& v) {\n"
+        "  (void)v.number_or(\"t\", 0);\n"
+        "  (void)v.number_or(\"seq\", 0);\n"  // never written
+        "}\n");
+  opts_.serde = {{"pair", "src/stats/codec.cpp", "render",
+                  "src/stats/codec.cpp", "parse", /*strict=*/false}};
+  const auto findings = check_wire_format(opts_);
+  ASSERT_EQ(count_rule(findings, "wire-format"), 1u);
+  EXPECT_NE(findings[0].message.find("\"seq\""), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, WireFormatStrictPairRequiresEveryKeyReadBack) {
+  write("src/stats/codec.cpp",
+        "void render(std::string& out) {\n"
+        "  out += \"{\\\"t\\\":1,\\\"node\\\":2}\";\n"
+        "}\n"
+        "void parse(const JsonValue& v) {\n"
+        "  (void)v.number_or(\"t\", 0);\n"  // "node" written, never read
+        "}\n");
+  opts_.serde = {{"pair", "src/stats/codec.cpp", "render",
+                  "src/stats/codec.cpp", "parse", /*strict=*/true}};
+  const auto findings = check_wire_format(opts_);
+  ASSERT_EQ(count_rule(findings, "wire-format"), 1u);
+  EXPECT_NE(findings[0].message.find("\"node\""), std::string::npos);
+}
+
+TEST_F(LintSemanticTest, WireFormatQuietOnSymmetricStrictPair) {
+  write("src/stats/codec.cpp",
+        "void render(std::string& out) {\n"
+        "  out += \"{\\\"t\\\":1,\\\"node\\\":2}\";\n"
+        "}\n"
+        "void parse(const JsonValue& v) {\n"
+        "  (void)v.number_or(\"t\", 0);\n"
+        "  (void)v.number_or(\"node\", 0);\n"
+        "}\n");
+  opts_.serde = {{"pair", "src/stats/codec.cpp", "render",
+                  "src/stats/codec.cpp", "parse", /*strict=*/true}};
+  EXPECT_TRUE(check_wire_format(opts_).empty());
+}
+
+// --- code-arith -------------------------------------------------------------
+
+TEST_F(LintSemanticTest, CodeArithFlagsDiscardedAppendOutsidePathCode) {
+  write("src/net/use.cpp",
+        "void f() {\n"
+        "  BitString code;\n"
+        "  code.append_bits(3u, 2u);\n"  // unguarded
+        "}\n");
+  const auto findings = check_code_arith(opts_);
+  ASSERT_EQ(count_rule(findings, "code-arith"), 1u);
+  EXPECT_EQ(findings[0].file, "src/net/use.cpp");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST_F(LintSemanticTest, CodeArithQuietWhenResultConsumed) {
+  write("src/net/use.cpp",
+        "void f() {\n"
+        "  BitString code;\n"
+        "  bool ok = code.append_bits(3u, 2u);\n"
+        "  if (!code.push_back(true)) return;\n"
+        "  (void)ok;\n"
+        "}\n");
+  EXPECT_TRUE(check_code_arith(opts_).empty());
+}
+
+TEST_F(LintSemanticTest, CodeArithIgnoresExemptFilesAndOtherTypes) {
+  // path_code.cpp owns the arithmetic: exempt even when discarding.
+  write("src/core/path_code.cpp",
+        "void g() {\n"
+        "  BitString code;\n"
+        "  code.append_bits(1u, 1u);\n"
+        "}\n");
+  // std::vector push_back is not a BitString: no finding.
+  write("src/net/other.cpp",
+        "void h() {\n"
+        "  std::vector<int> q;\n"
+        "  q.push_back(1);\n"
+        "}\n");
+  EXPECT_TRUE(check_code_arith(opts_).empty());
+}
+
+TEST_F(LintSemanticTest, CodeArithTracksBitStringStructFields) {
+  write("src/radio/packet.hpp",
+        "#pragma once\n"
+        "struct ControlPacket {\n"
+        "  BitString dest_code;\n"
+        "};\n");
+  write("src/net/use.cpp",
+        "void f(ControlPacket& p) {\n"
+        "  p.dest_code.append_bits(3u, 2u);\n"
+        "}\n");
+  const auto findings = check_code_arith(opts_);
+  ASSERT_EQ(count_rule(findings, "code-arith"), 1u);
+  EXPECT_EQ(findings[0].file, "src/net/use.cpp");
+}
+
+// --- registry / dispatch ----------------------------------------------------
+
+TEST(RuleRegistryTest, CoversAllEightRulesAndDispatches) {
+  const auto& rules = rule_registry();
+  ASSERT_EQ(rules.size(), 8u);
+  Options opts;
+  opts.root = ::testing::TempDir();
+  for (const RuleInfo& r : rules) {
+    EXPECT_TRUE(run_rule(r.name, opts).has_value()) << r.name;
+  }
+  EXPECT_FALSE(run_rule("no-such-rule", opts).has_value());
+}
+
+}  // namespace
+}  // namespace telea::lint

@@ -1,0 +1,144 @@
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telea_lint/lint.hpp"
+
+/// Mechanical fixes for the rules whose remedy is a pure insertion:
+/// enum-string switch cases, trace-docs table rows, metric-docs bullets.
+/// Anything needing judgment (layering, wire widths) stays manual.
+namespace telea::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_all(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool write_all(const fs::path& p, const std::string& text) {
+  std::ofstream out(p, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+/// kControlTxDone -> "control_tx_done": the repo's enumerator naming scheme,
+/// inverted. Digits attach to the preceding word (kEtx10 -> "etx10").
+std::string snake_name(std::string_view enumerator) {
+  std::string_view body = enumerator;
+  if (body.size() > 1 && body[0] == 'k' &&
+      std::isupper(static_cast<unsigned char>(body[1])) != 0) {
+    body.remove_prefix(1);
+  }
+  std::string out;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+      if (!out.empty()) out += '_';
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Inserts `case Enum::Name: return "name";` after the last existing case of
+/// the same enum (the switch body in the *_name() function).
+bool fix_enum_case(const fs::path& root, const std::vector<std::string>& args) {
+  if (args.size() != 4) return false;
+  const std::string& source = args[0];
+  const std::string& enum_name = args[1];
+  const std::string& enumerator = args[2];
+  std::string text = read_all(root / source);
+  if (text.empty()) return false;
+  const std::string label = "case " + enum_name + "::";
+  const std::size_t last = text.rfind(label);
+  if (last == std::string::npos) return false;
+  std::size_t eol = text.find('\n', last);
+  if (eol == std::string::npos) eol = text.size();
+  const std::size_t bol = text.rfind('\n', last);
+  const std::string indent =
+      text.substr(bol + 1, last - bol - 1);  // existing case indentation
+  const std::string line = "\n" + indent + "case " + enum_name +
+                           "::" + enumerator + ": return \"" +
+                           snake_name(enumerator) + "\";";
+  text.insert(eol, line);
+  return write_all(root / source, text);
+}
+
+/// Appends a row to the trace event table (first column backticked name).
+bool fix_doc_row(const fs::path& root, const std::vector<std::string>& args) {
+  if (args.size() != 2) return false;
+  const std::string& doc = args[0];
+  const std::string& event = args[1];
+  std::string text = read_all(root / doc);
+  const std::size_t table = text.find("\n| event");
+  if (table == std::string::npos) return false;
+  std::size_t pos = text.find('\n', table + 1);
+  std::size_t insert_at = pos;
+  while (pos != std::string::npos && pos + 1 < text.size() &&
+         text[pos + 1] == '|') {
+    insert_at = text.find('\n', pos + 1);
+    if (insert_at == std::string::npos) insert_at = text.size();
+    pos = insert_at;
+  }
+  const std::string row =
+      "\n| `" + event + "` | — | — | TODO(--fix): describe the new event |";
+  text.insert(insert_at, row);
+  return write_all(root / doc, text);
+}
+
+/// Appends a bullet to the "Exported names:" metric list.
+bool fix_metric_doc(const fs::path& root,
+                    const std::vector<std::string>& args) {
+  if (args.size() != 2) return false;
+  const std::string& doc = args[0];
+  const std::string& metric = args[1];
+  std::string text = read_all(root / doc);
+  const std::size_t anchor = text.find("Exported names:");
+  if (anchor == std::string::npos) return false;
+  // Walk the bullet list (lines starting "- " or indented continuations).
+  std::size_t pos = text.find('\n', anchor);
+  std::size_t insert_at = pos;
+  while (pos != std::string::npos && pos + 1 < text.size()) {
+    const char next = text[pos + 1];
+    const bool list_line = next == '-' || next == ' ' || next == '\n';
+    if (!list_line) break;
+    if (next != '\n') {
+      insert_at = text.find('\n', pos + 1);
+      if (insert_at == std::string::npos) insert_at = text.size();
+    }
+    pos = text.find('\n', pos + 1);
+  }
+  const std::string bullet =
+      "\n- `" + metric + "` — TODO(--fix): describe the new metric";
+  text.insert(insert_at, bullet);
+  return write_all(root / doc, text);
+}
+
+}  // namespace
+
+std::size_t apply_fixes(const fs::path& root,
+                        const std::vector<Finding>& findings) {
+  std::size_t applied = 0;
+  for (const Finding& f : findings) {
+    bool ok = false;
+    if (f.fix_kind == "insert-enum-case") {
+      ok = fix_enum_case(root, f.fix_args);
+    } else if (f.fix_kind == "insert-doc-row") {
+      ok = fix_doc_row(root, f.fix_args);
+    } else if (f.fix_kind == "insert-metric-doc") {
+      ok = fix_metric_doc(root, f.fix_args);
+    }
+    if (ok) ++applied;
+  }
+  return applied;
+}
+
+}  // namespace telea::lint

@@ -1,0 +1,668 @@
+#include "telea_lint/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace telea::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool has_cxx_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// A preprocessor directive occupies its logical line; the tokenizer handles
+/// `#include` and `#pragma pack` itself and skips the rest.
+struct Directive {
+  std::string_view name;   // "include", "pragma", ...
+  std::string_view rest;   // everything after the name, trimmed left
+};
+
+std::string_view ltrim(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+}  // namespace
+
+const StructDecl* FileIndex::find_struct(std::string_view name) const {
+  for (const auto& s : structs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const ConstDecl* FileIndex::find_constant(std::string_view name) const {
+  for (const auto& c : constants) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const FunctionDecl* FileIndex::find_function(std::string_view name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FileIndex* SourceIndex::file(std::string_view path) const {
+  const auto it = files.find(std::string(path));
+  return it == files.end() ? nullptr : &it->second;
+}
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && next == '/') {  // line comment
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {  // block comment
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    if (c == '"') {  // string literal; token text = raw content, escapes kept
+      const std::size_t start_line = line;
+      std::string content;
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) {
+          content.push_back(text[i]);
+          content.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') {
+          ++line;  // unterminated — bail at EOL, keep what we have
+          break;
+        }
+        content.push_back(text[i]);
+        ++i;
+      }
+      if (i < n && text[i] == '"') ++i;
+      out.push_back({Token::Kind::kString, std::move(content), start_line});
+      continue;
+    }
+    if (c == '\'') {  // char literal
+      const std::size_t start_line = line;
+      std::string content;
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) {
+          content.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        content.push_back(text[i]);
+        ++i;
+      }
+      if (i < n && text[i] == '\'') ++i;
+      out.push_back({Token::Kind::kChar, std::move(content), start_line});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident(text[j])) ++j;
+      out.push_back(
+          {Token::Kind::kIdent, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // Number: digits, hex prefix, suffixes, '.', exponent signs, and '
+      std::size_t j = i;
+      while (j < n && (is_ident(text[j]) || text[j] == '.' || text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.push_back(
+          {Token::Kind::kNumber, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuator: single character (multi-char operators stay split; the
+    // rules only ever look for single-char shapes plus "::" as two colons).
+    out.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+/// Evaluates the constant-expression tokens [begin, end): integer literals,
+/// previously evaluated constants, + - * / and parentheses. Returns nullopt
+/// on anything else (the constant is then simply not indexed).
+class ConstEval {
+ public:
+  ConstEval(const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+            const std::vector<ConstDecl>& known)
+      : toks_(toks), pos_(begin), end_(end), known_(known) {}
+
+  std::optional<long long> eval() {
+    const auto v = expr();
+    if (!v.has_value() || pos_ != end_) return std::nullopt;
+    return v;
+  }
+
+ private:
+  std::optional<long long> expr() {
+    auto lhs = term();
+    while (lhs.has_value() && pos_ < end_ && toks_[pos_].kind == Token::Kind::kPunct &&
+           (toks_[pos_].text == "+" || toks_[pos_].text == "-")) {
+      const bool add = toks_[pos_].text == "+";
+      ++pos_;
+      const auto rhs = term();
+      if (!rhs.has_value()) return std::nullopt;
+      lhs = add ? *lhs + *rhs : *lhs - *rhs;
+    }
+    return lhs;
+  }
+
+  std::optional<long long> term() {
+    auto lhs = atom();
+    while (lhs.has_value() && pos_ < end_ && toks_[pos_].kind == Token::Kind::kPunct &&
+           (toks_[pos_].text == "*" || toks_[pos_].text == "/")) {
+      const bool mul = toks_[pos_].text == "*";
+      ++pos_;
+      const auto rhs = atom();
+      if (!rhs.has_value() || (!mul && *rhs == 0)) return std::nullopt;
+      lhs = mul ? *lhs * *rhs : *lhs / *rhs;
+    }
+    return lhs;
+  }
+
+  std::optional<long long> atom() {
+    if (pos_ >= end_) return std::nullopt;
+    const Token& t = toks_[pos_];
+    if (t.kind == Token::Kind::kPunct && t.text == "(") {
+      ++pos_;
+      const auto v = expr();
+      if (!v.has_value() || pos_ >= end_ || toks_[pos_].text != ")") {
+        return std::nullopt;
+      }
+      ++pos_;
+      return v;
+    }
+    if (t.kind == Token::Kind::kNumber) {
+      // Strip digit separators and integer suffixes; reject floats.
+      std::string digits;
+      for (const char c : t.text) {
+        if (c == '\'') continue;
+        if (c == '.') return std::nullopt;
+        digits.push_back(c);
+      }
+      while (!digits.empty()) {
+        const char back = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(digits.back())));
+        if (back == 'u' || back == 'l' || back == 'z') {
+          digits.pop_back();
+        } else {
+          break;
+        }
+      }
+      char* stop = nullptr;
+      const long long v = std::strtoll(digits.c_str(), &stop, 0);
+      if (stop == nullptr || *stop != '\0') return std::nullopt;
+      ++pos_;
+      return v;
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      for (const auto& k : known_) {
+        if (k.name == t.text) {
+          ++pos_;
+          return k.value;
+        }
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<Token>& toks_;
+  std::size_t pos_;
+  const std::size_t end_;
+  const std::vector<ConstDecl>& known_;
+};
+
+bool tok_is(const Token& t, std::string_view punct) {
+  return t.kind == Token::Kind::kPunct && t.text == punct;
+}
+
+bool tok_ident(const Token& t, std::string_view name) {
+  return t.kind == Token::Kind::kIdent && t.text == name;
+}
+
+/// Index of the token after the matching close for the open bracket at
+/// `open` (which must be '{', '(' or '['). Returns toks.size() when
+/// unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const char close = o == "{" ? '}' : (o == "(" ? ')' : ']');
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct || toks[i].text.size() != 1) {
+      continue;
+    }
+    const char c = toks[i].text[0];
+    if (c == o[0]) ++depth;
+    if (c == close && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Normalized type spelling of tokens [begin, end): identifiers joined,
+/// "::" collapsed, template arguments kept ("std::vector<NodeId>").
+std::string render_type(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::kIdent || t.kind == Token::Kind::kNumber) {
+      if (!out.empty() && (is_ident(out.back()) || out.back() == '>')) {
+        out += ' ';
+      }
+      out += t.text;
+    } else {
+      out += t.text;
+    }
+  }
+  return out;
+}
+
+/// Parses the fields of the struct body starting at the '{' token `open`.
+/// Returns the fields and sets `end` to one past the closing '}'.
+std::vector<FieldDecl> parse_struct_fields(const std::vector<Token>& toks,
+                                           std::size_t open,
+                                           std::size_t* end) {
+  std::vector<FieldDecl> fields;
+  const std::size_t close = skip_balanced(toks, open) - 1;  // the '}' itself
+  *end = close + 1;
+  std::size_t i = open + 1;
+  while (i < close) {
+    const std::size_t stmt_begin = i;
+    // Collect one member declaration: up to ';' at this depth, skipping any
+    // nested braces/parens/brackets (default initializers, methods, nested
+    // types).
+    bool saw_paren = false;      // a '(' before '=' / ';' => method, not field
+    bool saw_equals = false;
+    bool skip_stmt = false;      // using/static/constexpr/enum/struct/friend
+    std::size_t name_tok = 0;    // last plain identifier before '=' / '[' / ';'
+    std::size_t type_end = 0;    // token index where the declarator name sits
+    while (i < close) {
+      const Token& t = toks[i];
+      if (tok_is(t, ";")) {
+        ++i;
+        break;
+      }
+      if (tok_is(t, "{") || tok_is(t, "(") || tok_is(t, "[")) {
+        if (tok_is(t, "(") && !saw_equals) saw_paren = true;
+        i = skip_balanced(toks, i);
+        // A method body at member depth ends the statement without ';'.
+        if (tok_is(t, "{") && !saw_equals) {
+          skip_stmt = true;
+          break;
+        }
+        continue;
+      }
+      if (t.kind == Token::Kind::kIdent) {
+        if (t.text == "using" || t.text == "static" || t.text == "constexpr" ||
+            t.text == "friend" || t.text == "typedef" || t.text == "enum" ||
+            t.text == "struct" || t.text == "class" || t.text == "template" ||
+            t.text == "public" || t.text == "private" ||
+            t.text == "protected") {
+          skip_stmt = true;
+        }
+        if (!saw_equals) {
+          name_tok = i;
+          type_end = i;
+        }
+      }
+      if (tok_is(t, "=")) saw_equals = true;
+      ++i;
+    }
+    if (skip_stmt || saw_paren || name_tok == 0 || type_end <= stmt_begin) {
+      continue;
+    }
+    FieldDecl f;
+    f.name = toks[name_tok].text;
+    f.line = toks[name_tok].line;
+    f.type = render_type(toks, stmt_begin, type_end);
+    if (!f.type.empty()) fields.push_back(std::move(f));
+  }
+  return fields;
+}
+
+}  // namespace
+
+FileIndex build_file_index(std::string path, std::string_view text) {
+  FileIndex idx;
+  idx.path = std::move(path);
+
+  // Pass 1 — preprocessor lines (the tokenizer proper never sees them).
+  // Scan raw text line by line for #include / #pragma pack.
+  {
+    std::size_t line_no = 1;
+    std::size_t pos = 0;
+    std::size_t pack = 0;
+    std::vector<std::size_t> pack_stack;
+    std::string body;  // directive lines blanked out of the token stream
+    body.reserve(text.size());
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string_view::npos) eol = text.size();
+      std::string_view linev = text.substr(pos, eol - pos);
+      const std::string_view trimmed = ltrim(linev);
+      if (!trimmed.empty() && trimmed.front() == '#') {
+        const std::string_view after = ltrim(trimmed.substr(1));
+        if (after.rfind("include", 0) == 0) {
+          std::string_view rest = ltrim(after.substr(7));
+          if (!rest.empty() && (rest.front() == '"' || rest.front() == '<')) {
+            const char closec = rest.front() == '"' ? '"' : '>';
+            const std::size_t endq = rest.find(closec, 1);
+            if (endq != std::string_view::npos) {
+              idx.includes.push_back({std::string(rest.substr(1, endq - 1)),
+                                      line_no, closec == '>'});
+            }
+          }
+        } else if (after.rfind("pragma", 0) == 0) {
+          const std::string_view rest = ltrim(after.substr(6));
+          if (rest.rfind("pack", 0) == 0) {
+            // pack(push, N) | pack(N) | pack(pop) | pack()
+            const std::size_t open = rest.find('(');
+            const std::size_t closep = rest.find(')');
+            if (open != std::string_view::npos &&
+                closep != std::string_view::npos && closep > open) {
+              const std::string args(rest.substr(open + 1, closep - open - 1));
+              if (args.find("pop") != std::string::npos) {
+                pack = pack_stack.empty() ? 0 : pack_stack.back();
+                if (!pack_stack.empty()) pack_stack.pop_back();
+              } else {
+                if (args.find("push") != std::string::npos) {
+                  pack_stack.push_back(pack);
+                }
+                std::size_t digit = args.find_first_of("0123456789");
+                pack = digit == std::string::npos
+                           ? 0
+                           : static_cast<std::size_t>(
+                                 std::strtoul(args.c_str() + digit, nullptr,
+                                              10));
+              }
+            }
+          }
+        }
+        // Blank the directive (and its continuations) from the token body.
+        while (eol < text.size() && !linev.empty() && linev.back() == '\\') {
+          body.append(linev.size(), ' ');
+          body.push_back('\n');
+          pos = eol + 1;
+          ++line_no;
+          eol = text.find('\n', pos);
+          if (eol == std::string_view::npos) eol = text.size();
+          linev = text.substr(pos, eol - pos);
+        }
+        body.append(linev.size(), ' ');
+      } else {
+        body.append(linev);
+      }
+      if (eol < text.size()) body.push_back('\n');
+      pos = eol + 1;
+      ++line_no;
+      // Remember the pack value per line? Structs read the value in effect
+      // at their declaration; we approximate by stamping the *current* pack
+      // in pass 2 via a line->pack map built here.
+      (void)pack;
+    }
+    idx.tokens = tokenize(body);
+
+    // Rebuild the line -> pack-in-effect map for struct stamping.
+    // (Second cheap raw scan; pack pragmas are rare.)
+    // Stored sparsely: list of (line, pack-after-this-line).
+    // For simplicity pass 2 recomputes from idx via this lambda-free copy:
+    // we stash transitions in a local static-free vector below.
+  }
+
+  // Pack transitions for struct stamping.
+  std::vector<std::pair<std::size_t, std::size_t>> pack_at;  // line, value
+  {
+    std::size_t line_no = 1;
+    std::size_t pos = 0;
+    std::size_t pack = 0;
+    std::vector<std::size_t> pack_stack;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string_view::npos) eol = text.size();
+      const std::string_view trimmed = ltrim(text.substr(pos, eol - pos));
+      if (!trimmed.empty() && trimmed.front() == '#') {
+        const std::string_view after = ltrim(trimmed.substr(1));
+        if (after.rfind("pragma", 0) == 0 &&
+            ltrim(after.substr(6)).rfind("pack", 0) == 0) {
+          const std::string_view rest = ltrim(after.substr(6));
+          const std::size_t open = rest.find('(');
+          const std::size_t closep = rest.find(')');
+          if (open != std::string_view::npos &&
+              closep != std::string_view::npos && closep > open) {
+            const std::string args(rest.substr(open + 1, closep - open - 1));
+            if (args.find("pop") != std::string::npos) {
+              pack = pack_stack.empty() ? 0 : pack_stack.back();
+              if (!pack_stack.empty()) pack_stack.pop_back();
+            } else {
+              if (args.find("push") != std::string::npos) {
+                pack_stack.push_back(pack);
+              }
+              const std::size_t digit = args.find_first_of("0123456789");
+              pack = digit == std::string::npos
+                         ? 0
+                         : static_cast<std::size_t>(std::strtoul(
+                               args.c_str() + digit, nullptr, 10));
+            }
+            pack_at.emplace_back(line_no, pack);
+          }
+        }
+      }
+      pos = eol + 1;
+      ++line_no;
+    }
+  }
+  const auto pack_for_line = [&pack_at](std::size_t line) {
+    std::size_t pack = 0;
+    for (const auto& [l, v] : pack_at) {
+      if (l <= line) pack = v;
+    }
+    return pack;
+  };
+
+  const std::vector<Token>& toks = idx.tokens;
+
+  // Pass 2 — structs and constants.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+
+    if ((t.text == "struct" || t.text == "class") && i + 1 < toks.size() &&
+        toks[i + 1].kind == Token::Kind::kIdent &&
+        // `enum class X` is an enum, not a class; enumerators are not fields.
+        (i == 0 || !tok_ident(toks[i - 1], "enum"))) {
+      // Find '{' before any ';' (else it is a forward declaration). Base
+      // clauses ("struct X : Y {") are skipped over.
+      std::size_t j = i + 2;
+      while (j < toks.size() && !tok_is(toks[j], "{") && !tok_is(toks[j], ";")) {
+        ++j;
+      }
+      if (j < toks.size() && tok_is(toks[j], "{")) {
+        StructDecl s;
+        s.name = toks[i + 1].text;
+        s.line = toks[i + 1].line;
+        s.pack = pack_for_line(s.line);
+        std::size_t end = j + 1;
+        s.fields = parse_struct_fields(toks, j, &end);
+        idx.structs.push_back(std::move(s));
+        // Do not skip the body: nested structs / constants inside classes
+        // (rare here) still get indexed by the outer loop.
+      }
+      continue;
+    }
+
+    if (t.text == "constexpr") {
+      // [inline] [static] constexpr <type...> kName = <expr> ;
+      std::size_t j = i + 1;
+      std::size_t name_tok = 0;
+      while (j < toks.size() && !tok_is(toks[j], "=") && !tok_is(toks[j], ";") &&
+             !tok_is(toks[j], "{") && !tok_is(toks[j], "(")) {
+        if (toks[j].kind == Token::Kind::kIdent) name_tok = j;
+        ++j;
+      }
+      if (j >= toks.size() || !tok_is(toks[j], "=") || name_tok == 0) continue;
+      std::size_t expr_end = j + 1;
+      while (expr_end < toks.size() && !tok_is(toks[expr_end], ";")) {
+        ++expr_end;
+      }
+      // The initializer may carry casts we cannot evaluate — try the plain
+      // expression first, then retry with a leading cast-like prefix
+      // stripped ("static_cast<std::size_t>(...)" keeps only (...)).
+      ConstEval ev(toks, j + 1, expr_end, idx.constants);
+      auto v = ev.eval();
+      if (!v.has_value() && j + 1 < expr_end &&
+          toks[j + 1].kind == Token::Kind::kIdent) {
+        std::size_t k = j + 1;
+        while (k < expr_end && !tok_is(toks[k], "(")) ++k;
+        if (k < expr_end) {
+          ConstEval ev2(toks, k, expr_end, idx.constants);
+          v = ev2.eval();
+        }
+      }
+      if (v.has_value()) {
+        idx.constants.push_back({toks[name_tok].text, *v,
+                                 toks[name_tok].line});
+      }
+      i = expr_end;
+      continue;
+    }
+  }
+
+  // Pass 3 — function body spans. A '{' is a function body when the token
+  // chain before it reads ")" [const|noexcept|override|final|mutable|->type]*
+  // and we are not already inside a recorded function.
+  std::size_t inside_until = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (i < inside_until || !tok_is(toks[i], "{")) continue;
+    // Walk back over trailing specifiers to the ')'.
+    std::size_t j = i;
+    while (j > 0) {
+      const Token& p = toks[j - 1];
+      if (p.kind == Token::Kind::kIdent &&
+          (p.text == "const" || p.text == "noexcept" || p.text == "override" ||
+           p.text == "final" || p.text == "mutable" || p.text == "try")) {
+        --j;
+        continue;
+      }
+      // Trailing return type "-> T": skip "T" idents, '>', '-', ':' etc.
+      // Kept minimal: this repo's serde functions use leading return types.
+      break;
+    }
+    if (j == 0 || !tok_is(toks[j - 1], ")")) continue;
+    // Find the matching '(' backwards.
+    int depth = 0;
+    std::size_t k = j - 1;
+    while (true) {
+      const Token& p = toks[k];
+      if (tok_is(p, ")")) ++depth;
+      if (tok_is(p, "(") && --depth == 0) break;
+      if (k == 0) break;
+      --k;
+    }
+    if (depth != 0 || k == 0) continue;
+    const Token& name = toks[k - 1];
+    if (name.kind != Token::Kind::kIdent) continue;
+    // Control-flow headers are not functions.
+    if (name.text == "if" || name.text == "for" || name.text == "while" ||
+        name.text == "switch" || name.text == "catch") {
+      continue;
+    }
+    FunctionDecl f;
+    f.name = name.text;
+    f.line = name.line;
+    f.tok_begin = i;
+    f.tok_end = skip_balanced(toks, i);
+    idx.functions.push_back(f);
+    inside_until = f.tok_end;
+  }
+
+  return idx;
+}
+
+SourceIndex build_source_index(const fs::path& root,
+                               const std::vector<std::string>& dirs) {
+  SourceIndex index;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      const std::string rel = fs::path(dir).generic_string();
+      index.files.emplace(rel, build_file_index(rel, read_file(base)));
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && it->path().filename() == "build") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !has_cxx_extension(it->path())) continue;
+      const std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      index.files.emplace(rel, build_file_index(rel, read_file(it->path())));
+    }
+  }
+  return index;
+}
+
+}  // namespace telea::lint

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// The per-file semantic index behind telea_lint's semantic rule families
+/// (docs/STATIC_ANALYSIS.md). A lightweight C++ tokenizer feeds one
+/// `FileIndex` per translation unit: include directives, struct field lists
+/// (with wire byte widths), `constexpr` integer constants (evaluated), and
+/// function body spans. All semantic rules — `layering`, `wire-format`,
+/// `code-arith` — share this index instead of re-scanning text with
+/// per-rule regexes, which is what makes cross-file reasoning (include
+/// graphs, serialize/parse pairing, struct-vs-constant conformance)
+/// possible in a compile-independent tool.
+///
+/// Deliberately NOT a C++ parser: no preprocessing, no templates, no
+/// overload resolution. It understands exactly the shapes this repository
+/// uses for wire structs, name-mapped enums and JSONL codecs, and degrades
+/// to "not indexed" (never a crash, never a false parse) on anything else.
+namespace telea::lint {
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kIdent,   // identifier or keyword
+    kNumber,  // integer / float literal (text preserved verbatim)
+    kString,  // string literal; text is the *raw* content between the quotes
+    kChar,    // character literal content
+    kPunct,   // one operator / punctuator per token ("::" stays two tokens)
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;
+};
+
+/// One `#include` directive.
+struct IncludeDecl {
+  std::string target;  // as written between the delimiters
+  std::size_t line = 0;
+  bool angled = false;  // <...> (system) vs "..." (project)
+};
+
+/// One data member of an indexed struct.
+struct FieldDecl {
+  std::string type;  // normalized spelling, e.g. "std::uint16_t"
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// One struct/class definition with its instance fields in declaration
+/// order. `pack` records the innermost `#pragma pack(N)` in effect at the
+/// definition (0 = natural alignment).
+struct StructDecl {
+  std::string name;
+  std::size_t line = 0;
+  std::size_t pack = 0;
+  std::vector<FieldDecl> fields;
+};
+
+/// One evaluated `constexpr` integral constant (`kHealthReportBytes = 8`,
+/// including constants derived from earlier ones in the same file).
+struct ConstDecl {
+  std::string name;
+  long long value = 0;
+  std::size_t line = 0;
+};
+
+/// One function (or method) definition: name plus the token span of its
+/// body, used for call-site and string-key extraction.
+struct FunctionDecl {
+  std::string name;        // unqualified: "parse_trace_jsonl", "render_jsonl"
+  std::size_t line = 0;
+  std::size_t tok_begin = 0;  // index of the body's opening '{'
+  std::size_t tok_end = 0;    // index one past the matching '}'
+};
+
+struct FileIndex {
+  std::string path;  // repo-root-relative
+  std::vector<Token> tokens;
+  std::vector<IncludeDecl> includes;
+  std::vector<StructDecl> structs;
+  std::vector<ConstDecl> constants;
+  std::vector<FunctionDecl> functions;
+
+  [[nodiscard]] const StructDecl* find_struct(std::string_view name) const;
+  [[nodiscard]] const ConstDecl* find_constant(std::string_view name) const;
+  [[nodiscard]] const FunctionDecl* find_function(std::string_view name) const;
+};
+
+/// Tokenizes `text` (comments skipped, newlines counted for line numbers).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view text);
+
+/// Builds the full index for one file's text.
+[[nodiscard]] FileIndex build_file_index(std::string path,
+                                         std::string_view text);
+
+/// The multi-file index the semantic rules run against.
+struct SourceIndex {
+  // root-relative path -> index, ordered (deterministic findings).
+  std::map<std::string, FileIndex> files;
+
+  [[nodiscard]] const FileIndex* file(std::string_view path) const;
+};
+
+/// Indexes every .cpp/.hpp under root/<dir> for each scan dir. Missing
+/// directories are skipped; unreadable files yield empty indexes.
+[[nodiscard]] SourceIndex build_source_index(
+    const std::filesystem::path& root, const std::vector<std::string>& dirs);
+
+}  // namespace telea::lint

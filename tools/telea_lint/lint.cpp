@@ -94,6 +94,49 @@ std::vector<EnumSpec> default_enum_specs() {
   };
 }
 
+std::vector<LayerSpec> default_layer_specs() {
+  // The realized architecture (docs/STATIC_ANALYSIS.md carries the diagram):
+  // util and sim are foundations; radio sits on them; stats (trace/metrics)
+  // is observability plumbing below every protocol layer; mac, then net,
+  // then the TeleAdjusting core and the baseline protos; check audits core
+  // state; harness composes everything. tools/tests/examples/bench may
+  // depend on anything — nothing in src/ may depend on them.
+  return {
+      {"util", {}},
+      {"sim", {"util"}},
+      {"radio", {"util", "sim"}},
+      {"topo", {"util", "sim", "radio"}},
+      {"stats", {"util", "sim", "radio"}},
+      {"mac", {"util", "sim", "radio", "stats"}},
+      {"net", {"util", "sim", "radio", "stats", "mac"}},
+      {"proto", {"util", "sim", "radio", "stats", "mac", "net"}},
+      {"core", {"util", "sim", "radio", "stats", "mac", "net"}},
+      {"check", {"util", "sim", "radio", "stats", "mac", "net", "core"}},
+      {"harness",
+       {"util", "sim", "radio", "stats", "mac", "net", "proto", "core",
+        "check", "topo"}},
+  };
+}
+
+std::vector<SerdeSpec> default_serde_specs() {
+  return {
+      // The trace stream is a full round-trip codec: telea_report and the
+      // span engine reload exactly what the tracer wrote.
+      {"trace-jsonl", "src/stats/trace.cpp", "render_jsonl",
+       "src/stats/trace.cpp", "parse_trace_jsonl", /*strict=*/true},
+      // Snapshot/report renderers feed readers that may ignore informational
+      // keys, but must never read a key the writer does not emit.
+      {"health-snapshot", "src/stats/health.cpp", "render_snapshot_json",
+       "tools/telea_top.cpp", "render_snapshot", /*strict=*/false},
+      {"flight-dump", "src/core/flight_recorder.cpp",
+       "render_flight_dump_json", "tools/telea_top.cpp", "render_flight_file",
+       /*strict=*/false},
+      {"bench-table", "src/stats/table.cpp", "render_json",
+       "tools/bench_compare/compare.cpp", "parse_table_json",
+       /*strict=*/false},
+  };
+}
+
 std::string strip_comments_and_strings(std::string_view src) {
   std::string out(src);
   enum class State {
@@ -222,10 +265,12 @@ std::vector<Finding> check_enum_strings(const Options& opts) {
       const std::string case_label =
           "case " + spec.enum_name + "::" + name + ":";
       if (source.find(case_label) == std::string::npos) {
-        findings.push_back(
-            {spec.source, line_of(source, fn_pos), "enum-string",
-             spec.enum_name + "::" + name + " has no case in " + spec.name_fn +
-                 "() — its string mapping is missing"});
+        Finding f{spec.source, line_of(source, fn_pos), "enum-string",
+                  spec.enum_name + "::" + name + " has no case in " +
+                      spec.name_fn + "() — its string mapping is missing"};
+        f.fix_kind = "insert-enum-case";
+        f.fix_args = {spec.source, spec.enum_name, name, spec.name_fn};
+        findings.push_back(std::move(f));
       }
     }
     if (!spec.from_name_fn.empty()) {
@@ -287,9 +332,12 @@ std::vector<Finding> check_metric_docs(const Options& opts) {
         if (name.rfind("telea_", 0) != 0) continue;
         if (!reported.insert(name).second) continue;
         if (doc.find(name) == std::string::npos) {
-          findings.push_back(
-              {file, line_of(raw, pos), "metric-docs",
-               "metric " + name + " is not documented in " + opts.metrics_doc});
+          Finding f{file, line_of(raw, pos), "metric-docs",
+                    "metric " + name + " is not documented in " +
+                        opts.metrics_doc};
+          f.fix_kind = "insert-metric-doc";
+          f.fix_args = {opts.metrics_doc, name};
+          findings.push_back(std::move(f));
         }
       }
     }
@@ -369,11 +417,15 @@ std::vector<Finding> check_trace_docs(const Options& opts) {
   for (const auto& [enumerator, name] : events) {
     if (!documented.contains(name)) {
       const std::size_t at = find_word(header, enumerator);
-      findings.push_back(
-          {opts.trace_header,
-           at == std::string::npos ? 0 : line_of(header, at), "trace-docs",
-           "TraceEvent::" + enumerator + " (\"" + name +
-               "\") is missing from the event table in " + opts.trace_doc});
+      Finding f{opts.trace_header,
+                at == std::string::npos ? 0 : line_of(header, at),
+                "trace-docs",
+                "TraceEvent::" + enumerator + " (\"" + name +
+                    "\") is missing from the event table in " +
+                    opts.trace_doc};
+      f.fix_kind = "insert-doc-row";
+      f.fix_args = {opts.trace_doc, name};
+      findings.push_back(std::move(f));
     }
   }
   std::set<std::string> known;
@@ -474,12 +526,65 @@ std::vector<Finding> check_field_widths(const Options& opts) {
   return findings;
 }
 
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"enum-string", true,
+       "name-mapped enums: every enumerator has a *_name() case; the "
+       "*_from_name() probe loop is bounded on the last enumerator"},
+      {"metric-docs", true,
+       "every telea_* metric registered in src/ is documented in "
+       "docs/OBSERVABILITY.md"},
+      {"trace-docs", true,
+       "TraceEvent name strings match the docs/OBSERVABILITY.md event table "
+       "in both directions"},
+      {"rng", false,
+       "no unseeded entropy (rand/srand/time/std::random_device) outside "
+       "src/util/rng.*"},
+      {"field-width", false,
+       "packet-field narrowing uses util/field.hpp helpers, never raw "
+       "static_cast<uint8_t|uint16_t>"},
+      {"layering", false,
+       "the src/ include graph matches the intended layer DAG: no cycles, "
+       "no illegal edges, nothing depends on tools/tests"},
+      {"wire-format", false,
+       "size-pinned wire structs sum to their k<Name>Bytes constant, fixed "
+       "headers fit kMaxPayloadBytes, serialize/parse pairs agree on keys"},
+      {"code-arith", false,
+       "BitString/path-code capacity mutators outside path_code/addressing "
+       "must consume their overflow result (static addr.code_bounds)"},
+  };
+  return kRules;
+}
+
+SourceIndex build_semantic_index(const Options& opts) {
+  return build_source_index(opts.root, {"src", "tools", "examples", "bench"});
+}
+
+std::optional<std::vector<Finding>> run_rule(std::string_view rule,
+                                             const Options& opts) {
+  if (rule == "enum-string") return check_enum_strings(opts);
+  if (rule == "metric-docs") return check_metric_docs(opts);
+  if (rule == "trace-docs") return check_trace_docs(opts);
+  if (rule == "rng") return check_rng_discipline(opts);
+  if (rule == "field-width") return check_field_widths(opts);
+  if (rule == "layering") return check_layering(opts);
+  if (rule == "wire-format") return check_wire_format(opts);
+  if (rule == "code-arith") return check_code_arith(opts);
+  return std::nullopt;
+}
+
 std::vector<Finding> run_all(const Options& opts) {
   std::vector<Finding> all = check_enum_strings(opts);
   for (auto&& f : check_metric_docs(opts)) all.push_back(std::move(f));
   for (auto&& f : check_trace_docs(opts)) all.push_back(std::move(f));
   for (auto&& f : check_rng_discipline(opts)) all.push_back(std::move(f));
   for (auto&& f : check_field_widths(opts)) all.push_back(std::move(f));
+  // The semantic families share one index build.
+  const SourceIndex index = build_semantic_index(opts);
+  for (auto&& f : check_layering(opts, index)) all.push_back(std::move(f));
+  for (auto&& f : check_wire_format(opts, index)) all.push_back(std::move(f));
+  for (auto&& f : check_code_arith(opts, index)) all.push_back(std::move(f));
+  annotate_fingerprints(opts.root, all);
   return all;
 }
 

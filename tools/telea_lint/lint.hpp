@@ -1,29 +1,42 @@
 #pragma once
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "telea_lint/index.hpp"
+
 /// telea_lint: repo-specific static analysis (docs/STATIC_ANALYSIS.md).
 ///
-/// Four rule families, each encoding a convention the compiler cannot see:
+/// Eight rule families, each encoding a convention or contract the compiler
+/// cannot see. Five are textual (v1):
 ///   enum-string   every enumerator of a name-mapped enum has a case in its
 ///                 *_name() switch, and the *_from_name() probe loop is
-///                 bounded on the enum's LAST enumerator (appending a value
-///                 without updating the loop silently breaks round-trips).
+///                 bounded on the enum's LAST enumerator.
 ///   metric-docs   every metric name registered in src/ is documented in
 ///                 docs/OBSERVABILITY.md.
 ///   trace-docs    every TraceEvent name string appears in the
-///                 docs/OBSERVABILITY.md event table — and every backticked
-///                 event in that table maps back to a real TraceEvent — so
-///                 span-boundary events cannot ship undocumented.
+///                 docs/OBSERVABILITY.md event table, and every backticked
+///                 event in that table maps back to a real TraceEvent.
 ///   rng           no rand()/srand()/time()/std::random_device outside the
-///                 seeded simulation RNG (src/util/rng.*) — any other entropy
-///                 source breaks run reproducibility.
+///                 seeded simulation RNG (src/util/rng.*).
 ///   field-width   packet-field narrowing in src/proto, src/net, src/core
-///                 goes through the checked helpers in util/field.hpp, never
-///                 a raw static_cast<std::uint8_t|std::uint16_t>.
+///                 goes through the checked helpers in util/field.hpp.
+///
+/// Three are semantic (v2), built on the shared per-file index
+/// (telea_lint/index.hpp):
+///   layering      the src/ include graph matches the intended layer DAG
+///                 (docs/STATIC_ANALYSIS.md), with no file-level include
+///                 cycles and nothing in src/ depending on tools/ or tests/.
+///   wire-format   size-pinned wire structs (k<Name>Bytes) sum to their
+///                 documented byte count, fixed headers fit the
+///                 kMaxPayloadBytes budget, and every registered
+///                 serialize/parse pair writes and reads the same JSON keys.
+///   code-arith    capacity-returning BitString/path-code mutations outside
+///                 path_code/addressing/bitstring must consume the result —
+///                 the static twin of the runtime `addr.code_bounds` rule.
 ///
 /// Standalone on purpose: no dependency on the simulator libraries, so the
 /// tool builds and runs even when the tree under analysis does not compile.
@@ -32,9 +45,19 @@ namespace telea::lint {
 struct Finding {
   std::string file;  // repo-root-relative path
   std::size_t line = 0;
-  // "enum-string" | "metric-docs" | "trace-docs" | "rng" | "field-width"
   std::string rule;
   std::string message;
+  /// Stable identity: fnv64 over rule + path + normalized content of the
+  /// finding's line + message. Line-number and whitespace changes do not
+  /// move it, so baselines survive unrelated edits. Filled by
+  /// annotate_fingerprints() (or run_all / the CLI, which call it).
+  std::string fingerprint = {};
+  /// Mechanical-fix payload ("" = not auto-fixable). Kinds:
+  ///   insert-enum-case   args: source file, enum, enumerator, name_fn
+  ///   insert-doc-row     args: doc file, event name   (trace-docs table)
+  ///   insert-metric-doc  args: doc file, metric name  (metric-docs list)
+  std::string fix_kind = {};
+  std::vector<std::string> fix_args = {};
 };
 
 /// A name-mapped enum under the enum-string rule.
@@ -46,7 +69,30 @@ struct EnumSpec {
   std::string from_name_fn;  // "" = enum has no from-name probe loop
 };
 
+/// One layer of the intended src/ dependency DAG: files under
+/// src/<dir> may include src/<dir> itself plus src/<d> for d in deps.
+struct LayerSpec {
+  std::string dir;
+  std::vector<std::string> deps;
+};
+
+/// One serialize/parse pair under the wire-format rule: the JSON keys the
+/// writer emits versus the keys the reader consumes. The reader's keys must
+/// always be a subset of the writer's (a key read but never written is a
+/// silent-default bug); `strict` additionally requires the writer's keys to
+/// all be read back (a full round-trip codec).
+struct SerdeSpec {
+  std::string name;         // for messages, e.g. "trace-jsonl"
+  std::string writer_file;  // root-relative
+  std::string writer_fn;
+  std::string reader_file;
+  std::string reader_fn;
+  bool strict = false;
+};
+
 [[nodiscard]] std::vector<EnumSpec> default_enum_specs();
+[[nodiscard]] std::vector<LayerSpec> default_layer_specs();
+[[nodiscard]] std::vector<SerdeSpec> default_serde_specs();
 
 struct Options {
   std::filesystem::path root = ".";
@@ -64,6 +110,24 @@ struct Options {
   std::vector<std::string> field_scan_dirs = {"src/proto", "src/net",
                                               "src/core"};
   std::vector<std::string> field_exempt = {};
+
+  // --- layering ---
+  std::vector<LayerSpec> layers = default_layer_specs();
+  std::string layering_root = "src";  // the tree the DAG governs
+
+  // --- wire-format ---
+  std::vector<std::string> wire_struct_dirs = {"src/radio", "src/proto"};
+  // Named payload budget; checked when the constant exists in an indexed
+  // wire file. Every wire struct's fixed-width field sum must fit it.
+  std::string payload_budget_const = "kMaxPayloadBytes";
+  std::vector<SerdeSpec> serde = default_serde_specs();
+
+  // --- code-arith ---
+  std::vector<std::string> code_arith_scan_dirs = {"src"};
+  std::vector<std::string> code_arith_exempt = {
+      "src/core/path_code.cpp",  "src/core/path_code.hpp",
+      "src/core/addressing.cpp", "src/core/addressing.hpp",
+      "src/util/bitstring.cpp",  "src/util/bitstring.hpp"};
 };
 
 /// Replaces comments and string/char literal contents with spaces, keeping
@@ -75,13 +139,87 @@ struct Options {
 [[nodiscard]] std::vector<std::string> parse_enumerators(
     std::string_view header_text, std::string_view enum_name);
 
+// --- v1 rules (textual) ---
 [[nodiscard]] std::vector<Finding> check_enum_strings(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_metric_docs(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_trace_docs(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_rng_discipline(const Options& opts);
 [[nodiscard]] std::vector<Finding> check_field_widths(const Options& opts);
 
-/// All rules, in the order above.
+// --- v2 rules (semantic, index-driven) ---
+[[nodiscard]] std::vector<Finding> check_layering(const Options& opts,
+                                                  const SourceIndex& index);
+[[nodiscard]] std::vector<Finding> check_wire_format(const Options& opts,
+                                                     const SourceIndex& index);
+[[nodiscard]] std::vector<Finding> check_code_arith(const Options& opts,
+                                                    const SourceIndex& index);
+// Convenience overloads that build their own index (tests, --rule runs).
+[[nodiscard]] std::vector<Finding> check_layering(const Options& opts);
+[[nodiscard]] std::vector<Finding> check_wire_format(const Options& opts);
+[[nodiscard]] std::vector<Finding> check_code_arith(const Options& opts);
+
+/// The index the semantic rules share: every C++ file under src/, tools/,
+/// examples/ and bench/ of `opts.root`.
+[[nodiscard]] SourceIndex build_semantic_index(const Options& opts);
+
+/// The rule registry, in execution order (--list-rules).
+struct RuleInfo {
+  const char* name;
+  bool fixable;
+  const char* description;  // one line
+};
+[[nodiscard]] const std::vector<RuleInfo>& rule_registry();
+
+/// Runs one rule family by name; nullopt for an unknown rule.
+[[nodiscard]] std::optional<std::vector<Finding>> run_rule(
+    std::string_view rule, const Options& opts);
+
+/// All rules in registry order, fingerprints annotated.
 [[nodiscard]] std::vector<Finding> run_all(const Options& opts);
+
+// --- finding identity, baselines, SARIF (report.cpp) ---
+
+/// Fills each finding's fingerprint (reads the finding's line from disk).
+void annotate_fingerprints(const std::filesystem::path& root,
+                           std::vector<Finding>& findings);
+
+/// Baseline file: one `<fingerprint> <rule> <file> <message>` per line;
+/// '#' comments and blank lines ignored.
+[[nodiscard]] std::optional<std::vector<std::string>> load_baseline(
+    const std::filesystem::path& path);
+[[nodiscard]] bool write_baseline(const std::filesystem::path& path,
+                                  const std::vector<Finding>& findings);
+
+struct BaselineDiff {
+  std::vector<Finding> active;     // not in the baseline — fail the run
+  std::size_t suppressed = 0;      // matched baseline entries
+  std::vector<std::string> stale;  // baseline fingerprints no longer seen
+};
+[[nodiscard]] BaselineDiff apply_baseline(
+    const std::vector<Finding>& findings,
+    const std::vector<std::string>& baseline);
+
+/// SARIF 2.1.0 document for GitHub code scanning.
+[[nodiscard]] std::string render_sarif(const std::vector<Finding>& findings);
+
+// --- incremental cache (report.cpp) ---
+
+/// mtime+hash warm cache: per-file (mtime, size) matches reuse the cached
+/// content hash; when the resulting tree digest matches the cached run, the
+/// cached findings are returned without re-analysis. Any change falls back
+/// to a full run (and rewrites the cache).
+struct CacheResult {
+  bool hit = false;
+  std::vector<Finding> findings;
+};
+[[nodiscard]] CacheResult run_all_cached(const Options& opts,
+                                         const std::filesystem::path& cache);
+
+// --- mechanical fixes (fix.cpp) ---
+
+/// Applies every finding with a fix payload; returns how many edits were
+/// written. Callers re-run the rules afterwards to report what remains.
+[[nodiscard]] std::size_t apply_fixes(const std::filesystem::path& root,
+                                      const std::vector<Finding>& findings);
 
 }  // namespace telea::lint

@@ -1,4 +1,6 @@
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -8,12 +10,23 @@ namespace {
 
 void usage() {
   std::cerr
-      << "usage: telea_lint [--root DIR] [--rule NAME]\n"
-      << "  --root DIR   repository root to analyze (default: .)\n"
-      << "  --rule NAME  run one rule family only: enum-string | metric-docs\n"
-      << "               | trace-docs | rng | field-width (default: all)\n"
-      << "Exits 0 when the tree is clean, 1 when any rule fires,\n"
-      << "2 on bad invocation. Rule catalog: docs/STATIC_ANALYSIS.md\n";
+      << "usage: telea_lint [--root DIR] [--rule NAME] [--list-rules]\n"
+      << "                  [--baseline FILE] [--write-baseline FILE]\n"
+      << "                  [--sarif FILE] [--cache FILE] [--fix]\n"
+      << "  --root DIR            repository root to analyze (default: .)\n"
+      << "  --rule NAME           run one rule family only (see --list-rules)\n"
+      << "  --list-rules          print the rule table and exit\n"
+      << "  --baseline FILE       suppress findings whose fingerprint is in\n"
+      << "                        FILE; report stale entries\n"
+      << "  --write-baseline FILE accept the current findings into FILE and\n"
+      << "                        exit 0\n"
+      << "  --sarif FILE          also write findings as SARIF 2.1.0\n"
+      << "  --cache FILE          mtime+hash incremental cache; unchanged\n"
+      << "                        trees reuse the previous run's findings\n"
+      << "  --fix                 apply mechanical fixes (enum cases, doc\n"
+      << "                        rows), then re-run and report what remains\n"
+      << "Exits 0 when the tree is clean (or fully baselined), 1 when any\n"
+      << "rule fires, 2 on bad invocation. Catalog: docs/STATIC_ANALYSIS.md\n";
 }
 
 }  // namespace
@@ -21,51 +34,135 @@ void usage() {
 int main(int argc, char** argv) {
   telea::lint::Options opts;
   std::string rule;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
+  std::string cache_path;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       opts.root = argv[++i];
     } else if (arg == "--rule" && i + 1 < argc) {
       rule = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--list-rules") {
+      for (const telea::lint::RuleInfo& r : telea::lint::rule_registry()) {
+        std::printf("%-12s %-5s %s\n", r.name, r.fixable ? "fix" : "-",
+                    r.description);
+      }
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     } else {
-      std::cerr << "telea_lint: unknown argument '" << arg << "'\n";
+      std::cerr << "telea_lint: unknown "
+                << (arg.rfind("--", 0) == 0 ? "option" : "argument") << " '"
+                << arg << "'\n";
       usage();
       return 2;
     }
   }
 
   std::vector<telea::lint::Finding> findings;
-  if (rule.empty()) {
-    findings = telea::lint::run_all(opts);
-  } else if (rule == "enum-string") {
-    findings = telea::lint::check_enum_strings(opts);
-  } else if (rule == "metric-docs") {
-    findings = telea::lint::check_metric_docs(opts);
-  } else if (rule == "trace-docs") {
-    findings = telea::lint::check_trace_docs(opts);
-  } else if (rule == "rng") {
-    findings = telea::lint::check_rng_discipline(opts);
-  } else if (rule == "field-width") {
-    findings = telea::lint::check_field_widths(opts);
+  bool cache_hit = false;
+  if (!rule.empty()) {
+    auto result = telea::lint::run_rule(rule, opts);
+    if (!result.has_value()) {
+      std::cerr << "telea_lint: unknown rule '" << rule << "'\n";
+      usage();
+      return 2;
+    }
+    findings = std::move(*result);
+    telea::lint::annotate_fingerprints(opts.root, findings);
+  } else if (!cache_path.empty() && !fix) {
+    auto cached = telea::lint::run_all_cached(opts, cache_path);
+    cache_hit = cached.hit;
+    findings = std::move(cached.findings);
   } else {
-    std::cerr << "telea_lint: unknown rule '" << rule << "'\n";
-    usage();
-    return 2;
+    findings = telea::lint::run_all(opts);
+  }
+
+  if (fix) {
+    const std::size_t applied = telea::lint::apply_fixes(opts.root, findings);
+    if (applied > 0) {
+      std::cout << "telea_lint: applied " << applied << " fix"
+                << (applied == 1 ? "" : "es") << ", re-checking\n";
+      findings = rule.empty()
+                     ? telea::lint::run_all(opts)
+                     : std::move(*telea::lint::run_rule(rule, opts));
+      telea::lint::annotate_fingerprints(opts.root, findings);
+    }
+  }
+
+  if (!write_baseline_path.empty()) {
+    if (!telea::lint::write_baseline(write_baseline_path, findings)) {
+      std::cerr << "telea_lint: cannot write baseline '" << write_baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "telea_lint: accepted " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " into "
+              << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  std::vector<std::string> stale;
+  if (!baseline_path.empty()) {
+    auto accepted = telea::lint::load_baseline(baseline_path);
+    if (!accepted.has_value()) {
+      std::cerr << "telea_lint: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    auto diff = telea::lint::apply_baseline(findings, *accepted);
+    findings = std::move(diff.active);
+    suppressed = diff.suppressed;
+    stale = std::move(diff.stale);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    out << telea::lint::render_sarif(findings);
+    if (!out) {
+      std::cerr << "telea_lint: cannot write SARIF '" << sarif_path << "'\n";
+      return 2;
+    }
   }
 
   for (const auto& f : findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
+  for (const auto& fp : stale) {
+    std::cout << "telea_lint: stale baseline entry " << fp
+              << " — the finding is gone; prune it from " << baseline_path
+              << "\n";
+  }
   if (findings.empty()) {
     std::cout << "telea_lint: clean"
-              << (rule.empty() ? "" : (" (" + rule + ")")) << "\n";
+              << (rule.empty() ? "" : (" (" + rule + ")"))
+              << (suppressed > 0
+                      ? " (" + std::to_string(suppressed) + " baselined)"
+                      : "")
+              << (cache_hit ? " [cached]" : "") << "\n";
     return 0;
   }
   std::cout << "telea_lint: " << findings.size() << " finding"
-            << (findings.size() == 1 ? "" : "s") << "\n";
+            << (findings.size() == 1 ? "" : "s")
+            << (suppressed > 0
+                    ? " (" + std::to_string(suppressed) + " baselined)"
+                    : "")
+            << "\n";
   return 1;
 }

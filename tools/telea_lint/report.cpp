@@ -1,0 +1,361 @@
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "telea_lint/lint.hpp"
+
+/// Finding identity, baseline workflow, SARIF rendering and the mtime+hash
+/// incremental cache.
+namespace telea::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 1469598103934665603ULL) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// The finding's source line with all whitespace removed, so fingerprints
+/// survive reformatting. Empty when the finding has no line (line == 0).
+std::string normalized_line(const fs::path& root, const Finding& f) {
+  if (f.line == 0) return {};
+  std::ifstream in(root / f.file);
+  if (!in) return {};
+  std::string line;
+  for (std::size_t n = 0; n < f.line && std::getline(in, line); ++n) {
+  }
+  std::string out;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void annotate_fingerprints(const fs::path& root,
+                           std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    std::uint64_t h = fnv1a64(f.rule);
+    h = fnv1a64(f.file, h);
+    h = fnv1a64(normalized_line(root, f), h);
+    h = fnv1a64(f.message, h);
+    f.fingerprint = hex64(h);
+  }
+}
+
+std::optional<std::vector<std::string>> load_baseline(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::string> fingerprints;
+  std::string line;
+  while (std::getline(in, line)) {
+    // First whitespace-delimited field is the fingerprint; the rest of the
+    // line is human context and may drift without invalidating the entry.
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start])) != 0) {
+      ++start;
+    }
+    if (start == line.size() || line[start] == '#') continue;
+    std::size_t end = start;
+    while (end < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[end])) == 0) {
+      ++end;
+    }
+    fingerprints.push_back(line.substr(start, end - start));
+  }
+  return fingerprints;
+}
+
+bool write_baseline(const fs::path& path,
+                    const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# telea_lint baseline — accepted findings, one per line.\n"
+      << "# <fingerprint> <rule> <file> <message>\n"
+      << "# Regenerate with: telea_lint --write-baseline " << path.filename()
+      << "\n";
+  for (const Finding& f : findings) {
+    out << f.fingerprint << ' ' << f.rule << ' ' << f.file << ' ' << f.message
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+BaselineDiff apply_baseline(const std::vector<Finding>& findings,
+                            const std::vector<std::string>& baseline) {
+  BaselineDiff diff;
+  const std::set<std::string> accepted(baseline.begin(), baseline.end());
+  std::set<std::string> seen;
+  for (const Finding& f : findings) {
+    if (accepted.contains(f.fingerprint)) {
+      ++diff.suppressed;
+      seen.insert(f.fingerprint);
+    } else {
+      diff.active.push_back(f);
+    }
+  }
+  for (const std::string& fp : baseline) {
+    if (!seen.contains(fp)) diff.stale.push_back(fp);
+  }
+  return diff;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"telea_lint\",\n"
+      << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = rule_registry();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << rules[i].name
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rules[i].description) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": "
+        << (f.line == 0 ? 1 : f.line) << "}}}],\n"
+        << "          \"partialFingerprints\": {\"teleaLint/v1\": \""
+        << f.fingerprint << "\"}\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// incremental cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CacheEntry {
+  long long mtime = 0;
+  long long size = 0;
+  std::string hash;
+};
+
+/// v1 cache layout, line-oriented:
+///   telea-lint-cache v1
+///   tree <digest>
+///   file <mtime> <size> <hash> <path>      (repeated)
+///   finding <fp>\t<rule>\t<line>\t<file>\t<message>   (repeated)
+constexpr std::string_view kCacheMagic = "telea-lint-cache v1";
+
+std::vector<std::string> lint_files(const Options& opts) {
+  static const char* kDirs[] = {"src", "tools", "examples", "bench", "tests",
+                                "docs"};
+  std::vector<std::string> files;
+  for (const char* dir : kDirs) {
+    const fs::path base = opts.root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+          ext == ".md") {
+        files.push_back(
+            fs::relative(it->path(), opts.root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string content_hash(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return "0";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return hex64(h);
+}
+
+long long mtime_of(const fs::path& p) {
+  std::error_code ec;
+  const auto t = fs::last_write_time(p, ec);
+  if (ec) return 0;
+  return static_cast<long long>(t.time_since_epoch().count());
+}
+
+long long size_of(const fs::path& p) {
+  std::error_code ec;
+  const auto s = fs::file_size(p, ec);
+  return ec ? 0 : static_cast<long long>(s);
+}
+
+}  // namespace
+
+CacheResult run_all_cached(const Options& opts, const fs::path& cache) {
+  // Load the previous run, if any.
+  std::map<std::string, CacheEntry> old_entries;
+  std::string old_tree;
+  std::vector<Finding> old_findings;
+  {
+    std::ifstream in(cache);
+    std::string line;
+    if (in && std::getline(in, line) && line == kCacheMagic) {
+      while (std::getline(in, line)) {
+        std::istringstream row(line);
+        std::string tag;
+        row >> tag;
+        if (tag == "tree") {
+          row >> old_tree;
+        } else if (tag == "file") {
+          CacheEntry e;
+          std::string path;
+          row >> e.mtime >> e.size >> e.hash;
+          std::getline(row, path);
+          if (!path.empty() && path.front() == ' ') path.erase(0, 1);
+          old_entries[path] = e;
+        } else if (tag == "finding") {
+          std::string rest = line.substr(tag.size());
+          if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+          Finding f;
+          std::size_t pos = 0;
+          const auto next_field = [&rest, &pos]() {
+            const std::size_t tab = rest.find('\t', pos);
+            std::string field = rest.substr(
+                pos, tab == std::string::npos ? std::string::npos : tab - pos);
+            pos = tab == std::string::npos ? rest.size() : tab + 1;
+            return field;
+          };
+          f.fingerprint = next_field();
+          f.rule = next_field();
+          try {
+            f.line = std::stoul(next_field());
+          } catch (...) {
+            f.line = 0;
+          }
+          f.file = next_field();
+          f.message = rest.substr(pos);
+          old_findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  // Stat every lint-visible file; reuse the content hash when (mtime, size)
+  // match the cached entry, re-hash otherwise.
+  const std::vector<std::string> files = lint_files(opts);
+  std::map<std::string, CacheEntry> entries;
+  std::uint64_t tree_hash = 1469598103934665603ULL;
+  for (const std::string& rel : files) {
+    const fs::path p = opts.root / rel;
+    CacheEntry e;
+    e.mtime = mtime_of(p);
+    e.size = size_of(p);
+    const auto old = old_entries.find(rel);
+    if (old != old_entries.end() && old->second.mtime == e.mtime &&
+        old->second.size == e.size) {
+      e.hash = old->second.hash;
+    } else {
+      e.hash = content_hash(p);
+    }
+    entries[rel] = e;
+    tree_hash = fnv1a64(rel, tree_hash);
+    tree_hash = fnv1a64(e.hash, tree_hash);
+  }
+  const std::string tree = hex64(tree_hash);
+
+  if (tree == old_tree && !old_tree.empty()) {
+    return {true, std::move(old_findings)};
+  }
+
+  CacheResult result;
+  result.hit = false;
+  result.findings = run_all(opts);
+
+  std::ofstream out(cache);
+  if (out) {
+    out << kCacheMagic << "\n" << "tree " << tree << "\n";
+    for (const auto& [rel, e] : entries) {
+      out << "file " << e.mtime << ' ' << e.size << ' ' << e.hash << ' '
+          << rel << "\n";
+    }
+    for (const Finding& f : result.findings) {
+      out << "finding " << f.fingerprint << '\t' << f.rule << '\t' << f.line
+          << '\t' << f.file << '\t' << f.message << "\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace telea::lint

@@ -1,0 +1,516 @@
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+#include "telea_lint/lint.hpp"
+
+/// The semantic (index-driven) rule families: layering, wire-format,
+/// code-arith. See docs/STATIC_ANALYSIS.md for the contracts each encodes.
+namespace telea::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_exempt(const std::string& file, const std::vector<std::string>& list) {
+  return std::find(list.begin(), list.end(), file) != list.end();
+}
+
+/// The top-level directory component of a root-relative path ("src/net/x.hpp"
+/// -> "src", "net"). Empty when the path has no such component.
+std::string first_component(std::string_view path) {
+  const std::size_t slash = path.find('/');
+  return std::string(slash == std::string_view::npos ? path
+                                                     : path.substr(0, slash));
+}
+
+std::string second_component(std::string_view path) {
+  const std::size_t a = path.find('/');
+  if (a == std::string_view::npos) return {};
+  const std::size_t b = path.find('/', a + 1);
+  return std::string(path.substr(a + 1, b == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : b - a - 1));
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+/// Where a quoted include lands: src-relative targets resolve against
+/// root/src first (the include dir every src target exports), then tools/,
+/// then tests/, then the repo root.
+struct ResolvedInclude {
+  std::string tree;  // "src" | "tools" | "tests" | "" (unresolved/system)
+  std::string path;  // root-relative path when resolved
+};
+
+ResolvedInclude resolve_include(const fs::path& root,
+                                const std::string& target) {
+  static const char* kTrees[] = {"src", "tools", "tests"};
+  for (const char* tree : kTrees) {
+    std::error_code ec;
+    if (fs::exists(root / tree / target, ec)) {
+      return {tree, std::string(tree) + "/" + target};
+    }
+  }
+  std::error_code ec;
+  if (fs::exists(root / target, ec)) {
+    return {first_component(target), target};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const Options& opts,
+                                    const SourceIndex& index) {
+  std::vector<Finding> findings;
+  std::map<std::string, const LayerSpec*> layer_of;
+  for (const LayerSpec& l : opts.layers) layer_of[l.dir] = &l;
+
+  // File-level include graph over the governed tree, for cycle detection.
+  std::map<std::string, std::vector<std::string>> graph;
+
+  const std::string prefix = opts.layering_root + "/";
+  for (const auto& [path, file] : index.files) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    const std::string dir = second_component(path);
+    const auto layer = layer_of.find(dir);
+    if (layer == layer_of.end()) {
+      findings.push_back(
+          {path, 0, "layering",
+           "directory " + prefix + dir +
+               " is not in the layering spec — add it to the DAG in "
+               "docs/STATIC_ANALYSIS.md and the lint layer table"});
+      continue;
+    }
+    for (const IncludeDecl& inc : file.includes) {
+      if (inc.angled) continue;  // system headers are outside the DAG
+      const ResolvedInclude res = resolve_include(opts.root, inc.target);
+      if (res.tree.empty()) continue;  // not a project header
+      if (res.tree != opts.layering_root) {
+        findings.push_back(
+            {path, inc.line, "layering",
+             "include chain " + path + " -> " + res.path + ": " + prefix +
+                 dir + " must not depend on " + res.tree +
+                 "/ (nothing in " + prefix + " may depend on tools or tests)"});
+        continue;
+      }
+      const std::string dep_dir = second_component(res.path);
+      graph[path].push_back(res.path);
+      if (dep_dir == dir) continue;
+      const std::vector<std::string>& allowed = layer->second->deps;
+      if (std::find(allowed.begin(), allowed.end(), dep_dir) ==
+          allowed.end()) {
+        std::string allowed_list;
+        for (const std::string& a : allowed) {
+          if (!allowed_list.empty()) allowed_list += ", ";
+          allowed_list += a;
+        }
+        findings.push_back(
+            {path, inc.line, "layering",
+             "include chain " + path + " -> " + res.path + ": layer '" + dir +
+                 "' may only depend on {" +
+                 (allowed_list.empty() ? "nothing" : allowed_list) +
+                 "} — this edge inverts the intended DAG"});
+      }
+    }
+  }
+
+  // Cycle detection (iterative DFS, three colors). Each cycle is reported
+  // once, keyed by its member set, with the full include chain printed.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::set<std::set<std::string>> seen_cycles;
+  std::vector<std::string> stack;
+
+  struct StackFrame {
+    std::string node;
+    std::size_t next = 0;
+  };
+  for (const auto& [start, _] : graph) {
+    if (color[start] != 0) continue;
+    std::vector<StackFrame> dfs;
+    dfs.push_back({start, 0});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!dfs.empty()) {
+      StackFrame& frame = dfs.back();
+      const auto it = graph.find(frame.node);
+      if (it == graph.end() || frame.next >= it->second.size()) {
+        color[frame.node] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const std::string& next = it->second[frame.next++];
+      if (color[next] == 1) {
+        // Back edge: the cycle is the stack suffix from `next`.
+        const auto at = std::find(stack.begin(), stack.end(), next);
+        std::set<std::string> members(at, stack.end());
+        if (seen_cycles.insert(members).second) {
+          std::string chain;
+          for (auto m = at; m != stack.end(); ++m) chain += *m + " -> ";
+          chain += next;
+          findings.push_back(
+              {next, 0, "layering",
+               "include cycle: " + chain +
+                   " — break the cycle with a forward declaration or by "
+                   "moving the shared type down a layer"});
+        }
+        continue;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        dfs.push_back({next, 0});
+      }
+    }
+  }
+
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// wire-format
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Wire byte width of a field type; 0 = not a fixed-width scalar.
+std::size_t wire_width(std::string_view type) {
+  // Normalize away cv and std:: spelling differences.
+  std::string t(type);
+  const auto strip = [&t](std::string_view what) {
+    for (std::size_t pos = t.find(what); pos != std::string::npos;
+         pos = t.find(what)) {
+      t.erase(pos, what.size());
+    }
+  };
+  strip("const ");
+  strip("std::");
+  if (t == "uint8_t" || t == "int8_t" || t == "char" || t == "bool") return 1;
+  if (t == "uint16_t" || t == "int16_t" || t == "NodeId") return 2;
+  if (t == "uint32_t" || t == "int32_t" || t == "float") return 4;
+  if (t == "uint64_t" || t == "int64_t" || t == "double") return 8;
+  return 0;
+}
+
+/// JSON keys a writer emits: every `\"key\":` sequence inside the string
+/// literals of the function body (the writers build escaped JSON text).
+std::set<std::string> writer_keys(const FileIndex& file,
+                                  const FunctionDecl& fn) {
+  std::set<std::string> keys;
+  for (std::size_t i = fn.tok_begin; i < fn.tok_end && i < file.tokens.size();
+       ++i) {
+    const Token& t = file.tokens[i];
+    if (t.kind != Token::Kind::kString) continue;
+    const std::string& s = t.text;  // raw content, escapes preserved
+    for (std::size_t p = s.find("\\\""); p != std::string::npos;
+         p = s.find("\\\"", p + 1)) {
+      std::size_t q = p + 2;
+      std::size_t start = q;
+      while (q < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[q])) != 0 ||
+              s[q] == '_')) {
+        ++q;
+      }
+      if (q == start || q + 2 >= s.size()) continue;
+      if (s.compare(q, 2, "\\\"") != 0 || s[q + 2] != ':') continue;
+      keys.insert(s.substr(start, q - start));
+    }
+  }
+  return keys;
+}
+
+/// JSON keys a reader consumes: the literal first argument of every
+/// `find(" / number_or(" / string_or(" / bool_or("` call in the body.
+std::set<std::string> reader_keys(const FileIndex& file,
+                                  const FunctionDecl& fn) {
+  static const char* kAccessors[] = {"find", "number_or", "string_or",
+                                     "bool_or"};
+  std::set<std::string> keys;
+  for (std::size_t i = fn.tok_begin;
+       i + 2 < fn.tok_end && i + 2 < file.tokens.size(); ++i) {
+    const Token& t = file.tokens[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    bool accessor = false;
+    for (const char* a : kAccessors) {
+      if (t.text == a) accessor = true;
+    }
+    if (!accessor) continue;
+    if (file.tokens[i + 1].kind != Token::Kind::kPunct ||
+        file.tokens[i + 1].text != "(") {
+      continue;
+    }
+    if (file.tokens[i + 2].kind == Token::Kind::kString) {
+      keys.insert(file.tokens[i + 2].text);
+    }
+  }
+  return keys;
+}
+
+std::string join_keys(const std::set<std::string>& keys) {
+  std::string out;
+  for (const std::string& k : keys) {
+    if (!out.empty()) out += ", ";
+    out += k;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> check_wire_format(const Options& opts,
+                                       const SourceIndex& index) {
+  std::vector<Finding> findings;
+
+  // 1. Size-pinned structs and the payload budget. The budget constant may
+  //    live in any wire file (src/radio/packet.hpp in this tree).
+  long long budget = -1;
+  std::string budget_file;
+  for (const auto& [path, file] : index.files) {
+    bool in_wire_dir = false;
+    for (const std::string& d : opts.wire_struct_dirs) {
+      if (path.rfind(d + "/", 0) == 0) in_wire_dir = true;
+    }
+    if (!in_wire_dir) continue;
+    if (const ConstDecl* c = file.find_constant(opts.payload_budget_const)) {
+      budget = c->value;
+      budget_file = path;
+    }
+  }
+
+  for (const auto& [path, file] : index.files) {
+    bool in_wire_dir = false;
+    for (const std::string& d : opts.wire_struct_dirs) {
+      if (path.rfind(d + "/", 0) == 0) in_wire_dir = true;
+    }
+    if (!in_wire_dir) continue;
+    for (const StructDecl& s : file.structs) {
+      const ConstDecl* pin = file.find_constant("k" + s.name + "Bytes");
+      std::size_t fixed_sum = 0;
+      bool all_fixed = true;
+      for (const FieldDecl& f : s.fields) {
+        const std::size_t w = wire_width(f.type);
+        if (w == 0) {
+          all_fixed = false;
+          if (pin != nullptr) {
+            findings.push_back(
+                {path, f.line, "wire-format",
+                 s.name + "." + f.name + " has no fixed wire width (" +
+                     f.type + ") but k" + s.name +
+                     "Bytes pins the struct to a fixed frame size"});
+          }
+          continue;
+        }
+        fixed_sum += w;
+      }
+      if (pin != nullptr && all_fixed &&
+          fixed_sum != static_cast<std::size_t>(pin->value)) {
+        findings.push_back(
+            {path, s.line, "wire-format",
+             s.name + " declares " + std::to_string(fixed_sum) +
+                 " byte(s) of fields but k" + s.name + "Bytes = " +
+                 std::to_string(pin->value) +
+                 " — the struct and its documented frame size disagree"});
+      }
+      if (budget >= 0 && fixed_sum > static_cast<std::size_t>(budget)) {
+        findings.push_back(
+            {path, s.line, "wire-format",
+             s.name + " fixed header sums to " + std::to_string(fixed_sum) +
+                 " byte(s), exceeding " + opts.payload_budget_const + " = " +
+                 std::to_string(budget) + " (" + budget_file + ")"});
+      }
+    }
+  }
+
+  // 2. Serialize/parse pair conformance.
+  for (const SerdeSpec& spec : opts.serde) {
+    const FileIndex* wfile = index.file(spec.writer_file);
+    const FileIndex* rfile = index.file(spec.reader_file);
+    const FunctionDecl* wfn =
+        wfile == nullptr ? nullptr : wfile->find_function(spec.writer_fn);
+    const FunctionDecl* rfn =
+        rfile == nullptr ? nullptr : rfile->find_function(spec.reader_fn);
+    if (wfn == nullptr) {
+      findings.push_back({spec.writer_file, 0, "wire-format",
+                          "serde pair '" + spec.name + "': writer " +
+                              spec.writer_fn + "() not found"});
+      continue;
+    }
+    if (rfn == nullptr) {
+      findings.push_back({spec.reader_file, 0, "wire-format",
+                          "serde pair '" + spec.name + "': reader " +
+                              spec.reader_fn + "() not found"});
+      continue;
+    }
+    const std::set<std::string> written = writer_keys(*wfile, *wfn);
+    const std::set<std::string> read = reader_keys(*rfile, *rfn);
+    if (written.empty()) {
+      findings.push_back({spec.writer_file, wfn->line, "wire-format",
+                          "serde pair '" + spec.name + "': writer " +
+                              spec.writer_fn +
+                              "() emits no recognizable JSON keys"});
+      continue;
+    }
+    for (const std::string& k : read) {
+      if (!written.contains(k)) {
+        findings.push_back(
+            {spec.reader_file, rfn->line, "wire-format",
+             "serde pair '" + spec.name + "': reader " + spec.reader_fn +
+                 "() reads key \"" + k + "\" which writer " + spec.writer_fn +
+                 "() never writes (writes: " + join_keys(written) +
+                 ") — the reader silently sees its fallback value"});
+      }
+    }
+    if (spec.strict) {
+      for (const std::string& k : written) {
+        if (!read.contains(k)) {
+          findings.push_back(
+              {spec.writer_file, wfn->line, "wire-format",
+               "serde pair '" + spec.name + "' (strict): writer " +
+                   spec.writer_fn + "() writes key \"" + k + "\" that reader " +
+                   spec.reader_fn +
+                   "() never reads — the round-trip drops a field"});
+        }
+      }
+    }
+  }
+
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// code-arith
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool punct_is(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+
+bool tok_ident_is(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kIdent && t.text == s;
+}
+
+}  // namespace
+
+std::vector<Finding> check_code_arith(const Options& opts,
+                                      const SourceIndex& index) {
+  std::vector<Finding> findings;
+
+  // Names with BitString/path-code type, project-wide: struct fields plus
+  // per-file local/parameter declarations (`BitString x`, `PathCode& y`).
+  std::set<std::string> code_fields;
+  for (const auto& [path, file] : index.files) {
+    for (const StructDecl& s : file.structs) {
+      for (const FieldDecl& f : s.fields) {
+        if (f.type.find("BitString") != std::string::npos ||
+            f.type.find("PathCode") != std::string::npos) {
+          code_fields.insert(f.name);
+        }
+      }
+    }
+  }
+
+  static const char* kMutators[] = {"append", "append_bits", "push_back"};
+
+  for (const auto& [path, file] : index.files) {
+    bool in_scan = false;
+    for (const std::string& d : opts.code_arith_scan_dirs) {
+      if (path.rfind(d + "/", 0) == 0) in_scan = true;
+    }
+    if (!in_scan || is_exempt(path, opts.code_arith_exempt)) continue;
+
+    // Local declarations of BitString/PathCode variables in this file.
+    std::set<std::string> local_codes;
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent ||
+          (toks[i].text != "BitString" && toks[i].text != "PathCode")) {
+        continue;
+      }
+      std::size_t j = i + 1;  // skip &, *, const between type and name
+      while (j < toks.size() &&
+             (punct_is(toks[j], "&") || punct_is(toks[j], "*") ||
+              tok_ident_is(toks[j], "const"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+        local_codes.insert(toks[j].text);
+      }
+    }
+
+    for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent) continue;
+      bool mutator = false;
+      for (const char* m : kMutators) {
+        if (t.text == m) mutator = true;
+      }
+      if (!mutator || !punct_is(toks[i + 1], "(")) continue;
+      // Member call: `.name(` or `->name(`.
+      std::size_t recv = 0;
+      if (punct_is(toks[i - 1], ".")) {
+        recv = i - 2;
+      } else if (punct_is(toks[i - 1], ">") && i >= 3 &&
+                 punct_is(toks[i - 2], "-")) {
+        recv = i - 3;
+      } else {
+        continue;
+      }
+      const Token& r = toks[recv];
+      if (r.kind != Token::Kind::kIdent) continue;  // complex receiver
+      if (!code_fields.contains(r.text) && !local_codes.contains(r.text)) {
+        continue;
+      }
+      // Walk back over the full receiver chain (a.b.c) to the expression
+      // start, then classify the preceding token: a statement boundary
+      // means the boolean overflow result is discarded.
+      std::size_t start = recv;
+      while (start >= 2 &&
+             (punct_is(toks[start - 1], ".") ||
+              (punct_is(toks[start - 1], ">") && punct_is(toks[start - 2], "-"))) &&
+             toks[start - (punct_is(toks[start - 1], ".") ? 2 : 3)].kind ==
+                 Token::Kind::kIdent) {
+        start -= punct_is(toks[start - 1], ".") ? std::size_t{2}
+                                                : std::size_t{3};
+      }
+      const bool unguarded =
+          start == 0 || punct_is(toks[start - 1], ";") ||
+          punct_is(toks[start - 1], "{") || punct_is(toks[start - 1], "}") ||
+          punct_is(toks[start - 1], ")") ||
+          tok_ident_is(toks[start - 1], "else") ||
+          tok_ident_is(toks[start - 1], "do");
+      if (unguarded) {
+        findings.push_back(
+            {path, t.line, "code-arith",
+             "result of " + r.text + "." + t.text +
+                 "() is discarded — BitString capacity mutations outside "
+                 "path_code/addressing must check the overflow result "
+                 "(static twin of the runtime addr.code_bounds invariant)"});
+      }
+    }
+  }
+  return findings;
+}
+
+// --- standalone overloads ---------------------------------------------------
+
+std::vector<Finding> check_layering(const Options& opts) {
+  return check_layering(opts, build_semantic_index(opts));
+}
+
+std::vector<Finding> check_wire_format(const Options& opts) {
+  return check_wire_format(opts, build_semantic_index(opts));
+}
+
+std::vector<Finding> check_code_arith(const Options& opts) {
+  return check_code_arith(opts, build_semantic_index(opts));
+}
+
+}  // namespace telea::lint
