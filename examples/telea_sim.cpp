@@ -39,8 +39,18 @@
 //                       renders it; see docs/OBSERVABILITY.md)
 //   flightrec=off       per-node flight recorders: on = arm the rings and
 //                       dump on invariant violation / command give-up /
-//                       reboot; FILE = additionally stream each dump as a
-//                       JSONL line to FILE
+//                       reboot / alert; FILE = additionally stream each dump
+//                       as a JSONL line to FILE
+//   timeline=off        metric time-series sampling: on = sample the full
+//                       metric set every `sample` seconds into bounded
+//                       multi-resolution series; FILE = additionally stream
+//                       every sample and alert transition as JSONL to FILE
+//                       (telea_timeline renders/diffs it; telea_top takes it
+//                       as a sparkline feed; see docs/OBSERVABILITY.md)
+//   rules=FILE          alert rules evaluated each timeline sample (grammar
+//                       in docs/OBSERVABILITY.md; implies timeline=on);
+//                       a malformed rules file exits 2
+//   sample=10           timeline sampling cadence in seconds (10)
 //   log=warn            trace | debug | info | warn | error | off
 //
 // Fault injection (all applied after warm-up, see docs/ROBUSTNESS.md):
@@ -208,6 +218,23 @@ int main(int argc, char** argv) {
   const bool failfast = cfg.get_bool("failfast", false);
   const std::string health_opt = cfg.get_string("health");
   const std::string flightrec_opt = cfg.get_string("flightrec");
+  const std::string timeline_opt = cfg.get_string("timeline");
+  const std::string rules_path = cfg.get_string("rules");
+  const auto sample_s = static_cast<SimTime>(cfg.get_int("sample", 10));
+  std::vector<AlertRule> alert_rules;
+  if (!rules_path.empty()) {
+    std::vector<AlertParseError> errors;
+    const auto rules = load_alert_rules(rules_path, &errors);
+    if (!rules.has_value()) {
+      for (const auto& e : errors) {
+        std::fprintf(stderr, "error: %s:%zu: %s\n", rules_path.c_str(), e.line,
+                     e.message.c_str());
+      }
+      return 2;
+    }
+    alert_rules = *rules;
+  }
+  const bool timeline_on = opt_enabled(timeline_opt) || !rules_path.empty();
   const auto churn = static_cast<std::size_t>(cfg.get_int("churn", 0));
   const auto downtime =
       static_cast<SimTime>(cfg.get_int("downtime", 120)) * kSecond;
@@ -217,6 +244,7 @@ int main(int argc, char** argv) {
 
   experiment.on_warmed_up = [dot_path, trace_path, report_dir, profile,
                              invariants, failfast, health_opt, flightrec_opt,
+                             timeline_opt, alert_rules, sample_s, timeline_on,
                              churn, downtime, noise_dbm, reboot_node, duration,
                              seed](Network& net) {
     if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
@@ -244,6 +272,15 @@ int main(int argc, char** argv) {
           }
         };
       }
+    }
+    if (timeline_on) {
+      NetworkTimelineConfig tcfg;
+      tcfg.timeline.interval = sample_s > 0 ? sample_s * kSecond : 10 * kSecond;
+      tcfg.rules = alert_rules;
+      if (opt_enabled(timeline_opt) && !opt_is_bare_on(timeline_opt)) {
+        tcfg.jsonl = timeline_opt;
+      }
+      net.enable_timeline(tcfg);
     }
 
     // Fault plan over the measurement window (docs/ROBUSTNESS.md).
@@ -278,7 +315,30 @@ int main(int argc, char** argv) {
   };
   const auto invariant_violations = std::make_shared<std::uint64_t>(0);
   experiment.on_finished = [trace_path, metrics_dir, report_dir, profile,
-                            flightrec_opt, invariant_violations](Network& net) {
+                            flightrec_opt, timeline_opt,
+                            invariant_violations](Network& net) {
+    if (TimelineEngine* tl = net.timeline()) {
+      tl->sample_now();  // close the run with a final boundary sample
+      std::printf("timeline: %llu samples, %zu series, alerts fired %llu / "
+                  "resolved %llu%s%s\n",
+                  static_cast<unsigned long long>(tl->samples_taken()),
+                  tl->series_count(),
+                  static_cast<unsigned long long>(tl->alerts_fired_total()),
+                  static_cast<unsigned long long>(tl->alerts_resolved_total()),
+                  opt_is_bare_on(timeline_opt) || timeline_opt.empty() ? ""
+                                                                       : " -> ",
+                  opt_is_bare_on(timeline_opt) ? "" : timeline_opt.c_str());
+      for (const AlertState& a : tl->alerts()) {
+        if (a.fired == 0) continue;
+        std::printf("  alert %s: fired %llu, resolved %llu, last at t+%.0f s "
+                    "(%s)\n",
+                    a.rule.name.c_str(),
+                    static_cast<unsigned long long>(a.fired),
+                    static_cast<unsigned long long>(a.resolved),
+                    to_seconds(a.last_fired),
+                    a.active ? "still active" : "clear");
+      }
+    }
     if (NetworkHealthModel* health = net.health()) {
       const SimTime now = net.sim().now();
       std::printf("health: coverage %s (%zu/%zu fresh), %llu reports, "
@@ -386,6 +446,7 @@ int main(int argc, char** argv) {
         "                 [csv=DIR] [dot=FILE] [trace=FILE] [metrics=DIR]\n"
         "                 [report=DIR] [profile=BOOL] [invariants=BOOL]\n"
         "                 [failfast=BOOL] [health=on|FILE] [flightrec=on|FILE]\n"
+        "                 [timeline=on|FILE] [rules=FILE] [sample=S]\n"
         "                 [log=LEVEL] [churn=N] [downtime=S]\n"
         "                 [noise=DBM] [reboot=NODE]\n"
         "(see the header of examples/telea_sim.cpp for defaults)\n");

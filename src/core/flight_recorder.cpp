@@ -14,6 +14,7 @@ const char* flight_event_name(FlightEvent e) noexcept {
     case FlightEvent::kParentChange: return "parent_change";
     case FlightEvent::kCodeChange: return "code_change";
     case FlightEvent::kReboot: return "reboot";
+    case FlightEvent::kAlert: return "alert";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class FlightEvent : std::uint8_t {
   kParentChange,     // CTP parent switch            a=old      b=new
   kCodeChange,       // path code (re)assigned       a=code len b=0
   kReboot,           // state-loss reboot            a=0        b=0
+  kAlert,            // timeline alert fired here    a=rule idx b=times fired
 };
 
 [[nodiscard]] const char* flight_event_name(FlightEvent e) noexcept;
@@ -60,11 +61,13 @@ class FlightRecorder {
 };
 
 /// One dumped ring with its trigger context — produced when an invariant
-/// fires, a command is given up on, or a node reboots.
+/// fires, a command is given up on, a node reboots, or a timeline alert
+/// rule fires against a series this node labels.
 struct FlightDump {
   SimTime time = 0;           // when the dump was taken
   NodeId node = kInvalidNode;
-  std::string trigger;        // "invariant:<rule>" | "command_give_up" | "reboot"
+  std::string trigger;        // "invariant:<rule>" | "command_give_up" |
+                              // "reboot" | "alert:<rule>"
   std::uint64_t dropped = 0;  // events the ring had already evicted
   std::vector<FlightRecord> events;
 };

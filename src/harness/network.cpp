@@ -581,6 +581,7 @@ void Network::collect_metrics(MetricsRegistry& registry) const {
     registry.counter("telea_health_suppressed_total", origin)
         .set_total(suppressed);
   }
+  if (timeline_ != nullptr) timeline_->collect_metrics(registry);
   if (flight_enabled_) {
     registry.describe("telea_flight_events_total",
                       "Events recorded into per-node flight-recorder rings");
@@ -647,6 +648,33 @@ bool Network::append_health_snapshot() {
   const std::string line = health_->render_snapshot_json(sim_.now()) + "\n";
   const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
   return std::fclose(f) == 0 && ok;
+}
+
+TimelineEngine& Network::enable_timeline(const NetworkTimelineConfig& config) {
+  if (timeline_ != nullptr) return *timeline_;
+  timeline_ = std::make_unique<TimelineEngine>(sim_, config.timeline);
+  // Self-inclusion is intentional: the engine's own telea_timeline_* /
+  // telea_alert_* families ride in the same collector pass, one sample late
+  // at worst and never recursive (the scratch registry is the engine's own).
+  timeline_->set_collector(
+      [this](MetricsRegistry& registry) { collect_metrics(registry); });
+  timeline_->set_tracer(tracer_.get());
+  timeline_->set_rules(config.rules);
+  if (!config.jsonl.empty()) timeline_->set_jsonl(config.jsonl);
+  timeline_->on_alert_fired = [this](const AlertState& alert, NodeId node) {
+    if (!flight_enabled_) return;
+    // A rule naming a node="N" series dumps that node's ring — the alert is
+    // about it; network-wide rules dump the sink, the controller's vantage.
+    const NodeId target =
+        (node == kInvalidNode || node >= nodes_.size()) ? kSinkNode : node;
+    if (FlightRecorder* recorder = nodes_[target]->flight_recorder()) {
+      recorder->record(sim_.now(), FlightEvent::kAlert, alert.index,
+                       alert.fired);
+    }
+    dump_flight(target, "alert:" + alert.rule.name);
+  };
+  timeline_->start();
+  return *timeline_;
 }
 
 void Network::enable_flight_recorders(std::size_t capacity) {
@@ -729,6 +757,7 @@ Tracer& Network::enable_tracing(std::size_t capacity) {
   tracer_ = std::make_unique<Tracer>(capacity);
   for (auto& n : nodes_) n->set_tracer(tracer_.get());
   if (invariants_ != nullptr) invariants_->set_tracer(tracer_.get());
+  if (timeline_ != nullptr) timeline_->set_tracer(tracer_.get());
   medium_->add_transmit_hook(
       [this](NodeId src, const Frame& frame, SimTime) {
         tracer_->record(sim_.now(), src, TraceEvent::kTransmit,

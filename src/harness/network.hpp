@@ -23,6 +23,7 @@
 #include "stats/health.hpp"
 #include "stats/metrics.hpp"
 #include "stats/spans.hpp"
+#include "stats/timeline.hpp"
 #include "stats/trace.hpp"
 #include "topo/topology.hpp"
 
@@ -186,6 +187,15 @@ struct NetworkHealthConfig {
   SimTime snapshot_interval = 0;
 };
 
+/// Harness-level switches for the timeline engine (docs/OBSERVABILITY.md,
+/// "Timeline & alerts"): sampling/tier layout, the optional JSONL stream,
+/// and the alert rules to evaluate each sample.
+struct NetworkTimelineConfig {
+  TimelineConfig timeline{};
+  std::string jsonl;             // when non-empty, stream samples here
+  std::vector<AlertRule> rules;  // evaluated every sample
+};
+
 /// A complete simulated deployment: radio substrate + one NodeStack per
 /// node. This is the assembly layer every example and benchmark builds on.
 class Network {
@@ -295,6 +305,16 @@ class Network {
   /// health is off, no file is configured, or the write failed.
   bool append_health_snapshot();
 
+  /// Turns on the timeline engine: collect_metrics is sampled every
+  /// `config.timeline.interval` of simulated time into bounded
+  /// multi-resolution series, the configured alert rules are evaluated each
+  /// sample (firings land in the tracer, the metrics, and — when flight
+  /// recorders are armed — a flight dump with trigger "alert:<rule>"), and
+  /// samples stream to `config.jsonl` when set. Idempotent — the config of
+  /// the first call wins; the engine lives as long as the network.
+  TimelineEngine& enable_timeline(const NetworkTimelineConfig& config = {});
+  [[nodiscard]] TimelineEngine* timeline() noexcept { return timeline_.get(); }
+
   /// Arms a bounded flight recorder on every node (forward decisions,
   /// parent changes, backtracks, ack timeouts, reboots...). Rings are
   /// dumped — to Network storage, the trace stream, and on_flight_dump —
@@ -337,6 +357,7 @@ class Network {
   std::unique_ptr<NetworkHealthModel> health_;
   NetworkHealthConfig health_config_;
   std::unique_ptr<Timer> health_timer_;
+  std::unique_ptr<TimelineEngine> timeline_;
   bool flight_enabled_ = false;
   std::vector<FlightDump> flight_dumps_;  // bounded, newest kept
   std::uint64_t flight_dumps_taken_ = 0;  // monotone, for metrics

@@ -1,5 +1,6 @@
 #include "harness/soak.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -61,6 +62,13 @@ FaultPlan build_fault_plan(const ChurnSoakConfig& cfg, Network& net,
   return plan;
 }
 
+bool append_jsonl_line(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << line << "\n";
+  return static_cast<bool>(out);
+}
+
 bool is_tele_control(const Frame& frame) noexcept {
   return std::holds_alternative<msg::ControlPacket>(frame.payload) ||
          std::holds_alternative<msg::FeedbackPacket>(frame.payload);
@@ -92,6 +100,9 @@ void emit_arm(std::ostringstream& out, const char* key,
 }  // namespace
 
 ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
+  // Host wall-clock over the whole soak — the denominator of the timeline
+  // sampling-overhead gate (<5% of run wall-clock, asserted by the tests).
+  const auto wall_start = std::chrono::steady_clock::now();
   NetworkConfig net_cfg;
   net_cfg.topology = make_connected_random(cfg.nodes, cfg.side_m, cfg.seed);
   net_cfg.seed = cfg.seed;
@@ -131,12 +142,43 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
     health_cfg.period = cfg.health_period;
     net.enable_health(health_cfg);
   }
+  if (cfg.timeline) {
+    // Flight recorders armed from boot, so alert firings (and reboots,
+    // give-ups...) always have node context to dump.
+    net.enable_flight_recorders();
+    if (!cfg.flight_jsonl.empty()) {
+      net.on_flight_dump = [path = cfg.flight_jsonl](const FlightDump& dump) {
+        if (!append_jsonl_line(path, render_flight_dump_json(dump))) {
+          TELEA_WARN("harness.soak") << "cannot append to " << path;
+        }
+      };
+    }
+  }
 
   net.start();
   net.start_data_collection(cfg.data_ipi);
   net.run_for(cfg.warmup);
   TELEA_INFO("harness.soak") << "warmed up: code coverage "
                              << net.code_coverage();
+
+  if (cfg.timeline) {
+    // Armed only after warmup: the soak's alert question is about steady
+    // state. Health coverage climbs from zero while nodes boot and report
+    // in, and paging on that transient would make every clean run noisy.
+    NetworkTimelineConfig timeline_cfg;
+    timeline_cfg.timeline.interval = cfg.timeline_interval;
+    timeline_cfg.rules = cfg.timeline_rules;
+    timeline_cfg.jsonl = cfg.timeline_jsonl;
+    TimelineEngine& tl = net.enable_timeline(timeline_cfg);
+    // The network collector covers node/protocol series; the soak also
+    // watches the controller, whose e2e retry counters are what storm
+    // rules key on. The engine only samples while run_for pumps the
+    // simulator below, with both referents alive.
+    tl.set_collector([&net, &controller](MetricsRegistry& registry) {
+      net.collect_metrics(registry);
+      controller.collect_metrics(registry);
+    });
+  }
 
   unsigned faults = 0;
   build_fault_plan(cfg, net, &faults).apply(net);
@@ -219,6 +261,25 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
     TELEA_INFO("harness.soak") << "health coverage " << result.health_coverage
                                << " over " << result.health_tracked
                                << " tracked nodes";
+  }
+  if (TimelineEngine* tl = net.timeline()) {
+    tl->sample_now();  // close the stream with a final boundary sample
+    result.timeline_samples = tl->samples_taken();
+    result.timeline_series = tl->series_count();
+    result.alerts_fired = tl->alerts_fired_total();
+    result.alerts_resolved = tl->alerts_resolved_total();
+    result.counter_resets = tl->counter_resets();
+    const double total_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    result.timeline_wall_fraction =
+        total_wall > 0.0 ? tl->sampling_wall_seconds() / total_wall : 0.0;
+    TELEA_INFO("harness.soak")
+        << "timeline: " << result.timeline_samples << " samples over "
+        << result.timeline_series << " series, " << result.alerts_fired
+        << " alert(s) fired, sampling overhead "
+        << result.timeline_wall_fraction * 100.0 << "% of wall-clock";
   }
   TELEA_INFO("harness.soak") << "done: " << result.acked << "/"
                              << result.commands << " acked, "

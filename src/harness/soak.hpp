@@ -54,6 +54,20 @@ struct ChurnSoakConfig {
   /// coverage/staleness verdict under the same fault mix.
   bool health = false;
   SimTime health_period = 60 * kSecond;
+
+  /// Timeline engine over the soak (docs/OBSERVABILITY.md, "Timeline &
+  /// alerts"): sample the full metric set every `timeline_interval`,
+  /// evaluate `timeline_rules` each sample, and stream samples + alert
+  /// transitions to `timeline_jsonl` when set. Flight recorders are armed
+  /// alongside so every firing captures node-level context; the dumps
+  /// stream to `flight_jsonl` when set. The sampling overhead is measured
+  /// against the soak's wall-clock (timeline_wall_fraction below) — the
+  /// harness gates it at <5%.
+  bool timeline = false;
+  SimTime timeline_interval = 10 * kSecond;
+  std::vector<AlertRule> timeline_rules;
+  std::string timeline_jsonl;
+  std::string flight_jsonl;
 };
 
 struct ChurnSoakResult {
@@ -78,6 +92,13 @@ struct ChurnSoakResult {
   std::size_t health_tracked = 0;    // nodes ever heard from (not evicted)
   std::uint64_t health_reports = 0;  // reports the sink accepted or rejected
   std::uint64_t health_bytes = 0;    // piggyback bytes that reached the sink
+  // Timeline engine verdict (cfg.timeline), read at end of run.
+  std::uint64_t timeline_samples = 0;
+  std::size_t timeline_series = 0;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t alerts_resolved = 0;
+  std::uint64_t counter_resets = 0;     // clamped deltas (reboots observed)
+  double timeline_wall_fraction = 0.0;  // sampling wall / soak wall (<0.05)
 
   [[nodiscard]] double delivery_ratio() const noexcept {
     return commands == 0

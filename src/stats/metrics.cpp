@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <string_view>
 
 #include "util/json.hpp"
 
@@ -91,34 +92,48 @@ double Histogram::quantile(double q) const noexcept {
   return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
-std::string MetricsRegistry::instance_key(const std::string& name,
-                                          const MetricLabels& labels) {
-  std::string key = name;
-  key.push_back('\x1f');
-  for (const auto& [k, v] : labels) {
-    key += k;
-    key.push_back('=');
-    key += v;
-    key.push_back('\x1f');
-  }
-  return key;
-}
-
 MetricsRegistry::Metric& MetricsRegistry::upsert(const std::string& name,
                                                  const MetricLabels& labels,
                                                  Kind kind) {
-  MetricLabels sorted = labels;
-  std::sort(sorted.begin(), sorted.end());
-  const std::string key = instance_key(name, sorted);
-  auto it = metrics_.find(key);
+  // Callers overwhelmingly pass already-sorted label sets; only copy when
+  // they do not. The key is built into a reused buffer so the steady-state
+  // lookup (collector loops re-resolving every scrape) allocates nothing.
+  MetricLabels sorted;
+  const MetricLabels* use = &labels;
+  if (!std::is_sorted(labels.begin(), labels.end())) {
+    sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    use = &sorted;
+  }
+  key_buf_.clear();
+  key_buf_ += name;
+  key_buf_.push_back('\x1f');
+  for (const auto& [k, v] : *use) {
+    key_buf_ += k;
+    key_buf_.push_back('=');
+    key_buf_ += v;
+    key_buf_.push_back('\x1f');
+  }
+  auto it = metrics_.find(std::string_view(key_buf_));
   if (it == metrics_.end()) {
     Metric m;
     m.name = name;
-    m.labels = std::move(sorted);
+    m.labels = *use;
     m.kind = kind;
-    it = metrics_.emplace(key, std::move(m)).first;
+    m.touched = epoch_;
+    ++live_;
+    return metrics_.emplace(key_buf_, std::move(m)).first->second;
   }
-  return it->second;
+  Metric& m = it->second;
+  if (!live(m)) {
+    // First touch since clear(): same identity, pristine values.
+    m.touched = epoch_;
+    ++live_;
+    if (m.counter) m.counter->set_total(0);
+    if (m.gauge) m.gauge->set(0.0);
+    if (m.histogram) m.histogram->reset();
+  }
+  return m;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name,
@@ -174,26 +189,46 @@ std::string MetricsRegistry::sample_name(const Metric& m,
 
 void MetricsRegistry::flatten(
     const Metric& m,
-    const std::function<void(std::string, double, Kind)>& emit) const {
+    const std::function<void(const std::string&, double, Kind)>& emit) const {
+  if (m.flat.empty()) {
+    // Sample identities never change once the instrument exists; build the
+    // strings once so scrape loops (the timeline engine re-flattens every
+    // sample) pay no per-pass formatting.
+    switch (m.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        m.flat.push_back(sample_name(m, ""));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *m.histogram;
+        for (const double bound : h.bounds()) {
+          m.flat.push_back(
+              sample_name(m, "_bucket", "le=\"" + fmt_double(bound) + "\""));
+        }
+        m.flat.push_back(sample_name(m, "_bucket", "le=\"+Inf\""));
+        m.flat.push_back(sample_name(m, "_sum"));
+        m.flat.push_back(sample_name(m, "_count"));
+        break;
+      }
+    }
+  }
   switch (m.kind) {
     case Kind::kCounter:
-      emit(sample_name(m, ""), static_cast<double>(m.counter->value()),
-           Kind::kCounter);
+      emit(m.flat[0], static_cast<double>(m.counter->value()), Kind::kCounter);
       break;
     case Kind::kGauge:
-      emit(sample_name(m, ""), m.gauge->value(), Kind::kGauge);
+      emit(m.flat[0], m.gauge->value(), Kind::kGauge);
       break;
     case Kind::kHistogram: {
       const Histogram& h = *m.histogram;
-      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
-        emit(sample_name(m, "_bucket",
-                         "le=\"" + fmt_double(h.bounds()[i]) + "\""),
-             static_cast<double>(h.cumulative(i)), Kind::kHistogram);
+      const std::size_t buckets = h.bounds().size();
+      for (std::size_t i = 0; i < buckets; ++i) {
+        emit(m.flat[i], static_cast<double>(h.cumulative(i)),
+             Kind::kHistogram);
       }
-      emit(sample_name(m, "_bucket", "le=\"+Inf\""),
-           static_cast<double>(h.count()), Kind::kHistogram);
-      emit(sample_name(m, "_sum"), h.sum(), Kind::kHistogram);
-      emit(sample_name(m, "_count"), static_cast<double>(h.count()),
+      emit(m.flat[buckets], static_cast<double>(h.count()), Kind::kHistogram);
+      emit(m.flat[buckets + 1], h.sum(), Kind::kHistogram);
+      emit(m.flat[buckets + 2], static_cast<double>(h.count()),
            Kind::kHistogram);
       break;
     }
@@ -205,6 +240,7 @@ std::string MetricsRegistry::render_prometheus() const {
   std::string last_name;
   for (const auto& [key, m] : metrics_) {
     (void)key;
+    if (!live(m)) continue;
     if (m.name != last_name) {
       last_name = m.name;
       const auto help = help_.find(m.name);
@@ -219,7 +255,7 @@ std::string MetricsRegistry::render_prometheus() const {
       }
       out += "\n";
     }
-    flatten(m, [&out](std::string name, double value, Kind) {
+    flatten(m, [&out](const std::string& name, double value, Kind) {
       out += name;
       out.push_back(' ');
       out += fmt_double(value);
@@ -234,6 +270,7 @@ std::string MetricsRegistry::render_json() const {
   bool first_metric = true;
   for (const auto& [key, m] : metrics_) {
     (void)key;
+    if (!live(m)) continue;
     if (!first_metric) out.push_back(',');
     first_metric = false;
     out += "{\"name\":\"" + JsonValue::escape(m.name) + "\",\"labels\":{";
@@ -285,8 +322,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   for (const auto& [key, m] : metrics_) {
     (void)key;
-    flatten(m, [&snap](std::string name, double value, Kind) {
-      snap.emplace(std::move(name), value);
+    if (!live(m)) continue;
+    flatten(m, [&snap](const std::string& name, double value, Kind) {
+      snap.emplace(name, value);
     });
   }
   return snap;
@@ -296,15 +334,29 @@ MetricsSnapshot MetricsRegistry::diff(const MetricsSnapshot& older) const {
   MetricsSnapshot out;
   for (const auto& [key, m] : metrics_) {
     (void)key;
-    flatten(m, [&out, &older](std::string name, double value, Kind kind) {
-      if (kind != Kind::kGauge) {
-        const auto it = older.find(name);
-        if (it != older.end()) value -= it->second;
-      }
-      out.emplace(std::move(name), value);
-    });
+    if (!live(m)) continue;
+    flatten(m,
+            [&out, &older](const std::string& name, double value, Kind kind) {
+              if (kind != Kind::kGauge) {
+                const auto it = older.find(name);
+                if (it != older.end()) {
+                  value = std::max(0.0, value - it->second);
+                }
+              }
+              out.emplace(name, value);
+            });
   }
   return out;
+}
+
+void MetricsRegistry::visit_samples(
+    const std::function<void(const std::string&, double, SampleKind)>& fn)
+    const {
+  for (const auto& [key, m] : metrics_) {
+    (void)key;
+    if (!live(m)) continue;
+    flatten(m, fn);
+  }
 }
 
 }  // namespace telea

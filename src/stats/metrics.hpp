@@ -78,6 +78,12 @@ class Histogram {
 /// This is the snapshot/diff currency — plain data, cheap to copy and compare.
 using MetricsSnapshot = std::map<std::string, double>;
 
+/// Flattened-sample semantics, for consumers that must treat cumulative
+/// samples differently from instantaneous ones (the timeline engine
+/// delta-encodes counters but stores gauges as-is). Histogram samples are
+/// all cumulative (`_bucket`/`_sum`/`_count` only ever grow).
+enum class SampleKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
 /// A named registry of counters, gauges and histograms. Metric instances are
 /// identified by (name, labels); lookups return stable references (instances
 /// live as long as the registry), so hot paths can resolve once and hold the
@@ -98,8 +104,18 @@ class MetricsRegistry {
   /// Optional one-line help text rendered as "# HELP" in Prometheus output.
   void describe(const std::string& name, std::string help);
 
-  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
-  void clear() { metrics_.clear(); }
+  /// Live (visible) instrument count — see clear().
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  /// Logically empties the registry while retaining instrument storage:
+  /// existing instances become invisible to size()/snapshot()/visit/render
+  /// until the next counter()/gauge()/histogram() lookup, which resets them
+  /// to pristine values. Collector-style scrape loops (the timeline engine
+  /// clears and re-collects every sample) therefore pay no re-allocation
+  /// after the first pass, and "absent this pass" stays observable.
+  void clear() noexcept {
+    ++epoch_;
+    live_ = 0;
+  }
 
   /// Prometheus text exposition format (deterministic ordering).
   [[nodiscard]] std::string render_prometheus() const;
@@ -112,17 +128,31 @@ class MetricsRegistry {
   /// Current values flattened to Prometheus sample granularity.
   [[nodiscard]] MetricsSnapshot snapshot() const;
   /// Delta since `older`: counter and histogram samples are subtracted
-  /// (absent-in-older counts as 0), gauge samples pass through at their
-  /// current value.
+  /// (absent-in-older counts as 0) with negative deltas clamped to 0 — a
+  /// cumulative sample can only shrink when its owner reset (state-loss
+  /// reboot re-registering a collector), and reporting the reset as a huge
+  /// negative rate is strictly worse than reporting no progress. Gauge
+  /// samples pass through at their current value.
   [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& older) const;
 
+  /// Visits every flattened sample with its kind — snapshot() plus the
+  /// counter/gauge distinction snapshot's plain map erases.
+  void visit_samples(
+      const std::function<void(const std::string&, double, SampleKind)>& fn)
+      const;
+
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  using Kind = SampleKind;
 
   struct Metric {
     std::string name;
     MetricLabels labels;
     Kind kind;
+    std::uint64_t touched = 0;  // epoch of the last lookup; stale = invisible
+    /// Flattened sample names, built lazily on first flatten and reused —
+    /// identity is immutable, and scrape loops re-flatten every pass.
+    /// Counter/gauge: one entry. Histogram: buckets..., +Inf, _sum, _count.
+    mutable std::vector<std::string> flat;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
@@ -130,16 +160,22 @@ class MetricsRegistry {
 
   Metric& upsert(const std::string& name, const MetricLabels& labels,
                  Kind kind);
-  static std::string instance_key(const std::string& name,
-                                  const MetricLabels& labels);
+  /// True when the instance is visible (touched in the current epoch).
+  [[nodiscard]] bool live(const Metric& m) const noexcept {
+    return m.touched == epoch_;
+  }
   /// "name{a="x",b="y"}" with `extra` appended inside the braces.
   static std::string sample_name(const Metric& m, const std::string& suffix,
                                  const std::string& extra = {});
-  void flatten(const Metric& m,
-               const std::function<void(std::string, double, Kind)>& emit) const;
+  void flatten(
+      const Metric& m,
+      const std::function<void(const std::string&, double, Kind)>& emit) const;
 
-  std::map<std::string, Metric> metrics_;  // key -> instance (sorted)
+  std::map<std::string, Metric, std::less<>> metrics_;  // key -> instance
   std::map<std::string, std::string> help_;
+  std::string key_buf_;       // reused instance-key scratch (hot-path lookups)
+  std::uint64_t epoch_ = 0;   // bumped by clear()
+  std::size_t live_ = 0;      // instruments touched in the current epoch
 };
 
 }  // namespace telea

@@ -144,4 +144,31 @@ std::string TextTable::render() const {
   return out;
 }
 
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  if (values.empty() || width == 0) return {};
+  static constexpr char kRamp[] = "_.:-=+*#@";
+  static constexpr std::size_t kLevels = sizeof(kRamp) - 1;
+  const std::size_t take = std::min(width, values.size());
+  const std::size_t first = values.size() - take;
+  double lo = values[first];
+  double hi = values[first];
+  for (std::size_t i = first; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  out.reserve(take);
+  for (std::size_t i = first; i < values.size(); ++i) {
+    if (hi <= lo) {
+      out.push_back('-');
+      continue;
+    }
+    const double norm = (values[i] - lo) / (hi - lo);
+    const auto level = static_cast<std::size_t>(
+        norm * static_cast<double>(kLevels - 1) + 0.5);
+    out.push_back(kRamp[std::min(level, kLevels - 1)]);
+  }
+  return out;
+}
+
 }  // namespace telea

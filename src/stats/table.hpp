@@ -46,4 +46,11 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// One-line ASCII sparkline of `values` (oldest first), min-max normalized
+/// onto a single-byte character ramp — single-byte so it stays aligned as a
+/// TextTable cell. At most `width` points are drawn (the newest); a flat
+/// series renders as a run of '-', empty input as "".
+[[nodiscard]] std::string sparkline(const std::vector<double>& values,
+                                    std::size_t width = 32);
+
 }  // namespace telea

@@ -29,6 +29,8 @@ const char* trace_event_name(TraceEvent e) noexcept {
     case TraceEvent::kControlTxDone: return "control_tx_done";
     case TraceEvent::kControlDelivered: return "control_delivered";
     case TraceEvent::kFlightDump: return "flight_dump";
+    case TraceEvent::kAlertFired: return "alert_fired";
+    case TraceEvent::kAlertResolved: return "alert_resolved";
   }
   return "?";
 }
@@ -50,7 +52,7 @@ const char* trace_reason_name(TraceReason r) noexcept {
 
 std::optional<TraceEvent> trace_event_from_name(std::string_view name) noexcept {
   for (std::uint8_t i = 0;
-       i <= static_cast<std::uint8_t>(TraceEvent::kFlightDump); ++i) {
+       i <= static_cast<std::uint8_t>(TraceEvent::kAlertResolved); ++i) {
     const auto e = static_cast<TraceEvent>(i);
     if (name == trace_event_name(e)) return e;
   }

@@ -53,6 +53,11 @@ enum class TraceEvent : std::uint8_t {
                       // command span in the span engine.
   kFlightDump,       // a node's flight-recorder ring was dumped; a = events
                      // in the dump, b = the dump's index in Network storage
+  kAlertFired,       // a timeline alert rule's condition held for its full
+                     // `for` window; a = rule index in the loaded rule set,
+                     // b = the node the rule's series labels (0 = network-wide)
+  kAlertResolved,    // a previously fired alert's condition went false;
+                     // a = rule index, b = same node convention as kAlertFired
 };
 
 /// Why a decision event fired. kNone for events that carry no reason.

@@ -203,6 +203,34 @@ TEST(Metrics, SnapshotDiffSubtractsCountersButNotGauges) {
   EXPECT_DOUBLE_EQ(delta.at("telea_lat_seconds_bucket{le=\"+Inf\"}"), 2.0);
 }
 
+TEST(Metrics, SnapshotDiffClampsCounterResetsToZero) {
+  // Regression: a collector-mirrored counter can go *backwards* when its
+  // source node reboots with protocol state wiped. diff() must clamp the
+  // delta to zero — a negative "increase" poisons every rate computed from
+  // it — while gauges keep reporting their (legitimately lower) value.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("telea_ops_total");
+  Gauge& g = reg.gauge("telea_depth");
+  Histogram& h = reg.histogram("telea_lat_seconds", {1.0});
+  c.inc(10);
+  g.set(5);
+  h.observe(0.5);
+  h.observe(0.25);
+  const MetricsSnapshot before = reg.snapshot();
+
+  // Simulate the reboot: fresh registry, totals restart from zero.
+  MetricsRegistry after_reboot;
+  after_reboot.counter("telea_ops_total").inc(4);
+  after_reboot.gauge("telea_depth").set(2);
+  after_reboot.histogram("telea_lat_seconds", {1.0}).observe(0.5);
+
+  const MetricsSnapshot delta = after_reboot.diff(before);
+  EXPECT_DOUBLE_EQ(delta.at("telea_ops_total"), 0.0);  // 4 - 10, clamped
+  EXPECT_DOUBLE_EQ(delta.at("telea_depth"), 2.0);      // gauge: current value
+  EXPECT_DOUBLE_EQ(delta.at("telea_lat_seconds_count"), 0.0);  // 1 - 2
+  EXPECT_DOUBLE_EQ(delta.at("telea_lat_seconds_bucket{le=\"1\"}"), 0.0);
+}
+
 TEST(MetricsIntegration, NetworkCollectorRefreshesWithoutDoubleCounting) {
   NetworkConfig cfg;
   cfg.topology = make_line(4, 22.0);

@@ -95,7 +95,48 @@ TEST(BenchCompare, MissingRowOrColumnIsAnError) {
   renamed_col.headers[1] = "median latency ms";
   CompareReport report2;
   compare_tables(baseline, renamed_col, "f", CompareOptions{}, report2);
-  EXPECT_FALSE(report2.errors.empty());
+  // Removing a gated column is one table-level error, not one per row.
+  ASSERT_EQ(report2.errors.size(), 1u);
+  EXPECT_NE(report2.errors[0].find("gated column 'median latency s'"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, AddedColumnsAreNotesNotErrors) {
+  const Table baseline = parse_or_die(kBaselineJson);
+  Table current = baseline;
+  current.headers.push_back("alerts fired");  // non-gated addition
+  current.headers.push_back("p99 s");         // gated-once-baselined addition
+  for (auto& row : current.values) {
+    row.push_back(1.0);
+    row.push_back(9.0);
+  }
+
+  CompareReport report;
+  compare_tables(baseline, current, "f", CompareOptions{}, report);
+  EXPECT_TRUE(report.ok()) << render_report(report, CompareOptions{});
+  ASSERT_EQ(report.notes.size(), 2u);
+  EXPECT_NE(report.notes[0].find("new column 'alerts fired'"),
+            std::string::npos);
+  EXPECT_NE(report.notes[1].find("refresh baselines"), std::string::npos);
+
+  const std::string rendered = render_report(report, CompareOptions{});
+  EXPECT_NE(rendered.find("note       f: new column"), std::string::npos);
+  EXPECT_NE(rendered.find("2 note(s)"), std::string::npos);
+}
+
+TEST(BenchCompare, RemovedNonGatedColumnIsANote) {
+  Table baseline = parse_or_die(kBaselineJson);
+  Table current = baseline;
+  // Drop the non-gated "delivery" column from the current results.
+  current.headers.pop_back();
+  for (auto& row : current.values) row.pop_back();
+
+  CompareReport report;
+  compare_tables(baseline, current, "f", CompareOptions{}, report);
+  EXPECT_TRUE(report.ok()) << render_report(report, CompareOptions{});
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("column 'delivery' removed"),
+            std::string::npos);
 }
 
 TEST(BenchCompare, WiderToleranceAcceptsTheSameDelta) {

@@ -101,6 +101,35 @@ void compare_tables(const Table& baseline, const Table& current,
                     const std::string& file, const CompareOptions& opts,
                     CompareReport& out) {
   ++out.files_compared;
+
+  // Schema drift is reported once per table, not once per row. A removed
+  // gated column is a hole in the gate (error); removed non-gated columns
+  // and any column new in the current results are informational.
+  for (std::size_t col = 1; col < baseline.headers.size(); ++col) {
+    const std::string& header = baseline.headers[col];
+    if (std::find(current.headers.begin(), current.headers.end(), header) !=
+        current.headers.end()) {
+      continue;
+    }
+    if (lower_is_better(header)) {
+      out.errors.push_back(file + ": gated column '" + header +
+                           "' missing from current results");
+    } else {
+      out.notes.push_back(file + ": column '" + header +
+                          "' removed since the baseline");
+    }
+  }
+  for (std::size_t col = 1; col < current.headers.size(); ++col) {
+    const std::string& header = current.headers[col];
+    if (std::find(baseline.headers.begin(), baseline.headers.end(), header) !=
+        baseline.headers.end()) {
+      continue;
+    }
+    out.notes.push_back(
+        file + ": new column '" + header + "' has no baseline" +
+        (lower_is_better(header) ? " — refresh baselines to gate it" : ""));
+  }
+
   for (std::size_t row = 0; row < baseline.row_labels.size(); ++row) {
     const std::string& label = baseline.row_labels[row];
     const auto cur_row = std::find(current.row_labels.begin(),
@@ -120,9 +149,7 @@ void compare_tables(const Table& baseline, const Table& current,
       const auto cur_col = std::find(current.headers.begin(),
                                      current.headers.end(), header);
       if (cur_col == current.headers.end()) {
-        out.errors.push_back(file + ": column '" + header +
-                             "' missing from current results");
-        continue;
+        continue;  // already reported once at table level above
       }
       const double cur =
           current.values[cur_idx][static_cast<std::size_t>(
@@ -181,6 +208,24 @@ CompareReport compare_dirs(const std::string& baseline_dir,
     }
     compare_tables(*baseline, *current, stem, opts, report);
   }
+
+  // New result files with no baseline yet: visible but never gated.
+  std::vector<std::filesystem::path> extras;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(current_dir, ec)) {
+    if (entry.path().extension() != ".json") continue;
+    const auto is_baseline = [&entry](const std::filesystem::path& b) {
+      return b.filename() == entry.path().filename();
+    };
+    if (std::none_of(baselines.begin(), baselines.end(), is_baseline)) {
+      extras.push_back(entry.path());
+    }
+  }
+  std::sort(extras.begin(), extras.end());
+  for (const auto& extra : extras) {
+    report.notes.push_back(extra.stem().string() +
+                           ": new result without a baseline (not gated)");
+  }
   return report;
 }
 
@@ -207,12 +252,15 @@ std::string render_report(const CompareReport& report,
   for (const std::string& e : report.errors) {
     out += "ERROR " + e + "\n";
   }
+  for (const std::string& n : report.notes) {
+    out += "note       " + n + "\n";
+  }
   std::snprintf(line, sizeof line,
                 "%zu file(s), %zu gated cell(s): %zu regression(s), "
-                "%zu improvement(s), %zu error(s)\n",
+                "%zu improvement(s), %zu error(s), %zu note(s)\n",
                 report.files_compared, report.cells_compared,
                 report.regressions.size(), report.improvements.size(),
-                report.errors.size());
+                report.errors.size(), report.notes.size());
   out += line;
   return out;
 }

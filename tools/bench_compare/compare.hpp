@@ -57,6 +57,10 @@ struct CompareReport {
   /// refresh the baseline so the gate stays tight.
   std::vector<CellDelta> improvements;
   std::vector<std::string> errors;  // missing/unreadable/mismatched files
+  /// Informational schema drift: columns added since the baseline, non-gated
+  /// columns removed, and new result files without a baseline. Never fails
+  /// the gate, but keeps silently-unGated data visible in the report.
+  std::vector<std::string> notes;
   std::size_t cells_compared = 0;
   std::size_t files_compared = 0;
   [[nodiscard]] bool ok() const noexcept {
@@ -65,16 +69,17 @@ struct CompareReport {
 };
 
 /// Compares one current table against its baseline. Rows are matched by
-/// label, columns by header; rows/columns present on only one side are
-/// reported as errors (a renamed row silently skipping the gate would make
-/// the gate worthless).
+/// label, columns by header. Rows present only in the baseline, and *gated*
+/// columns present only in the baseline, are errors (a renamed row silently
+/// skipping the gate would make the gate worthless); non-gated removed
+/// columns and columns new in the current results are notes.
 void compare_tables(const Table& baseline, const Table& current,
                     const std::string& file, const CompareOptions& opts,
                     CompareReport& out);
 
 /// Compares every *.json under `baseline_dir` against its same-named
 /// counterpart in `current_dir`. Extra files in `current_dir` (new benches
-/// without a baseline yet) are ignored.
+/// without a baseline yet) are reported as notes, not gated.
 [[nodiscard]] CompareReport compare_dirs(const std::string& baseline_dir,
                                          const std::string& current_dir,
                                          const CompareOptions& opts);

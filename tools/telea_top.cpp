@@ -7,20 +7,27 @@
 //
 //   $ ./telea_top health=run.health.jsonl
 //   $ ./telea_top health=run.health.jsonl watch=true interval=2
+//   $ ./telea_top health=run.health.jsonl timeline=run.timeline.jsonl
 //   $ ./telea_top flightrec=run.flight.jsonl
 //
 // Options (key=value):
-//   health=FILE     health snapshot JSONL; the last parsable line is shown
-//   flightrec=FILE  flight dump JSONL; every dump is rendered in order
-//   watch=false     health only: poll FILE and re-render when it grows
-//   interval=2      watch poll interval in seconds
-//   limit=0         show only the N stalest nodes (0 = all, sorted by id)
+//   health=FILE       health snapshot JSONL; the last parsable line is shown
+//   flightrec=FILE    flight dump JSONL; every dump is rendered in order
+//   timeline=FILE     timeline JSONL (telea_sim timeline=FILE): adds a
+//                     per-node sparkline column of `spark_metric`'s history
+//   spark_metric=NAME metric family for the sparkline column
+//                     (default telea_duty_cycle)
+//   watch=false       health only: poll FILE and re-render when it grows
+//   interval=2        watch poll interval in seconds
+//   limit=0           show only the N stalest nodes (0 = all, sorted by id)
 //
 // Exit codes: 0 ok; 1 no parsable snapshot/dump in the input; 2 usage error.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -41,6 +48,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: telea_top health=FILE [watch=BOOL] [interval=S] "
                "[limit=N]\n"
+               "                 [timeline=FILE] [spark_metric=NAME]\n"
                "       telea_top flightrec=FILE\n");
   return 2;
 }
@@ -72,7 +80,42 @@ std::optional<JsonValue> last_json_line(const std::string& text) {
   return last;
 }
 
-void render_snapshot(const JsonValue& snap, std::size_t limit) {
+/// Per-node value history of one metric family, keyed by node id, pulled
+/// from the timeline JSONL's sample lines. A series contributes when its
+/// name contains `metric` and carries a `node="N"` label.
+std::map<double, std::vector<double>> load_sparks(const std::string& text,
+                                                  const std::string& metric) {
+  std::map<double, std::vector<double>> by_node;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const auto v = JsonValue::parse(line);
+    if (!v.has_value() || v->type() != JsonValue::Type::kObject) continue;
+    const JsonValue* values = v->find("v");
+    if (values == nullptr || values->type() != JsonValue::Type::kObject) {
+      continue;
+    }
+    for (const auto& [name, value] : values->as_object()) {
+      if (value.type() != JsonValue::Type::kNumber) continue;
+      if (name.find(metric) == std::string::npos) continue;
+      const std::size_t label = name.find("node=\"");
+      if (label == std::string::npos) continue;
+      char* parsed_end = nullptr;
+      const double id = std::strtod(name.c_str() + label + 6, &parsed_end);
+      if (parsed_end == name.c_str() + label + 6) continue;
+      by_node[id].push_back(value.as_number());
+    }
+  }
+  return by_node;
+}
+
+void render_snapshot(const JsonValue& snap, std::size_t limit,
+                     const std::map<double, std::vector<double>>& sparks,
+                     const std::string& spark_metric) {
   const double now_s = snap.number_or("t", 0.0);
   const double period_s = snap.number_or("period_s", 0.0);
   const double stale_after_s = snap.number_or("stale_after_s", 0.0);
@@ -107,22 +150,32 @@ void render_snapshot(const JsonValue& snap, std::size_t limit) {
                      });
   }
 
-  TextTable table({"node", "age s", "state", "duty", "etx", "code len",
-                   "txq hwm", "fwdq hwm", "parent epoch", "energy mJ",
-                   "updates"});
+  std::vector<std::string> headers{"node", "age s", "state", "duty", "etx",
+                                   "code len", "txq hwm", "fwdq hwm",
+                                   "parent epoch", "energy mJ", "updates"};
+  if (!sparks.empty()) headers.push_back(spark_metric);
+  TextTable table(std::move(headers));
   for (const JsonValue* n : rows) {
     const double age = n->number_or("age_s", 0.0);
     const bool fresh = stale_after_s <= 0.0 || age <= stale_after_s;
-    table.row({TextTable::fmt(n->number_or("id", 0.0), 0),
-               TextTable::fmt(age, 0), fresh ? "fresh" : "STALE",
-               TextTable::fmt_pct(n->number_or("duty", 0.0), 1),
-               TextTable::fmt(n->number_or("etx10", 0.0) / 10.0, 1),
-               TextTable::fmt(n->number_or("code_len", 0.0), 0),
-               TextTable::fmt(n->number_or("txq_hwm", 0.0), 0),
-               TextTable::fmt(n->number_or("fwdq_hwm", 0.0), 0),
-               TextTable::fmt(n->number_or("parent_epoch", 0.0), 0),
-               TextTable::fmt(n->number_or("energy_mj", 0.0), 0),
-               TextTable::fmt(n->number_or("updates", 0.0), 0)});
+    std::vector<std::string> cells{
+        TextTable::fmt(n->number_or("id", 0.0), 0), TextTable::fmt(age, 0),
+        fresh ? "fresh" : "STALE",
+        TextTable::fmt_pct(n->number_or("duty", 0.0), 1),
+        TextTable::fmt(n->number_or("etx10", 0.0) / 10.0, 1),
+        TextTable::fmt(n->number_or("code_len", 0.0), 0),
+        TextTable::fmt(n->number_or("txq_hwm", 0.0), 0),
+        TextTable::fmt(n->number_or("fwdq_hwm", 0.0), 0),
+        TextTable::fmt(n->number_or("parent_epoch", 0.0), 0),
+        TextTable::fmt(n->number_or("energy_mj", 0.0), 0),
+        TextTable::fmt(n->number_or("updates", 0.0), 0)};
+    if (!sparks.empty()) {
+      const auto it = sparks.find(n->number_or("id", -1.0));
+      cells.push_back(it == sparks.end()
+                          ? std::string{}
+                          : telea::sparkline(it->second, 24));
+    }
+    table.row(std::move(cells));
   }
   table.print();
 }
@@ -173,6 +226,9 @@ int main(int argc, char** argv) {
   }
   const std::string health_path = cfg.get_string("health");
   const std::string flight_path = cfg.get_string("flightrec");
+  const std::string timeline_path = cfg.get_string("timeline");
+  const std::string spark_metric =
+      cfg.get_string("spark_metric", "telea_duty_cycle");
   const bool watch = cfg.get_bool("watch", false);
   const double interval_s = cfg.get_double("interval", 2.0);
   const auto limit = static_cast<std::size_t>(cfg.get_int("limit", 0));
@@ -207,7 +263,22 @@ int main(int argc, char** argv) {
                    health_path.c_str());
       return 1;
     }
-    render_snapshot(*snap, limit);
+    std::map<double, std::vector<double>> sparks;
+    if (!timeline_path.empty()) {
+      const auto timeline_text = read_file(timeline_path);
+      if (!timeline_text.has_value()) {
+        std::fprintf(stderr, "telea_top: cannot read %s\n",
+                     timeline_path.c_str());
+        return 2;
+      }
+      sparks = load_sparks(*timeline_text, spark_metric);
+      if (sparks.empty()) {
+        std::fprintf(stderr,
+                     "telea_top: no node-labeled '%s' series in %s\n",
+                     spark_metric.c_str(), timeline_path.c_str());
+      }
+    }
+    render_snapshot(*snap, limit, sparks, spark_metric);
     return 0;
   };
 
