@@ -34,14 +34,21 @@ int main(int argc, char** argv) {
       {"+re-tele (full)", ControlProtocol::kReTele, true, true, true},
   };
 
-  TextTable table({"variant", "PDR", "tx/pkt", "avg delay (s)", "duty"});
+  // All 5 variants go into one batch — the whole sweep shares the pool.
+  TrialBatch batch(opt);
   for (const Variant& v : variants) {
-    const auto r = run_testbed_with(
-        v.protocol, /*wifi=*/true, opt, [&v](ControlExperimentConfig& cfg) {
-          cfg.network.tele.forwarding.opportunistic = v.opportunistic;
-          cfg.network.tele.forwarding.neighbor_assist = v.neighbor_assist;
-          cfg.network.tele.forwarding.backtracking = v.backtracking;
-        });
+    batch.cell(v.protocol, /*wifi=*/true, [v](ControlExperimentConfig& cfg) {
+      cfg.network.tele.forwarding.opportunistic = v.opportunistic;
+      cfg.network.tele.forwarding.neighbor_assist = v.neighbor_assist;
+      cfg.network.tele.forwarding.backtracking = v.backtracking;
+    });
+  }
+  const auto cells = batch.run();
+
+  TextTable table({"variant", "PDR", "tx/pkt", "avg delay (s)", "duty"});
+  for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
+    const Variant& v = variants[vi];
+    const auto& r = cells[vi];
     SummaryStats delay;
     for (const auto& [hop, stats] : r.latency_by_hop.groups()) {
       (void)hop;
@@ -53,6 +60,7 @@ int main(int argc, char** argv) {
                TextTable::fmt_pct(r.duty_cycle, 2)});
   }
   emit_table(table, "ablation_opportunism");
+  emit_runner_stats(batch, "ablation_opportunism");
   std::printf("expected: PDR and delay improve monotonically down the "
               "table; tx/pkt drops with opportunism\n");
   return 0;

@@ -24,32 +24,46 @@ int main(int argc, char** argv) {
       {"aggressive (N, cap 20)", {1, 20, 1}},
   };
 
+  // Each policy's network is an independent trial — run the three
+  // concurrently on the trial runner and render rows in policy order.
+  struct PolicyResult {
+    double coverage = 0.0;
+    SummaryStats len, space;
+  };
+  TrialRunner runner(RunnerConfig{opt.jobs, {}});
+  const auto results = runner.run_indexed(
+      std::size(policies), [&policies, &opt, converge](std::size_t pi) {
+        NetworkConfig cfg;
+        cfg.topology = make_tight_grid(opt.seed);
+        cfg.seed = opt.seed;
+        cfg.protocol = ControlProtocol::kReTele;
+        cfg.tele.addressing.headroom = policies[pi].headroom;
+        Network net(cfg);
+        net.start();
+        net.run_for(converge);
+
+        PolicyResult out;
+        out.coverage = net.code_coverage();
+        for (NodeId i = 1; i < net.size(); ++i) {
+          const auto* tele = net.node(i).tele();
+          if (tele == nullptr) continue;
+          if (tele->addressing().has_code()) {
+            out.len.add(static_cast<double>(tele->addressing().code().size()));
+          }
+          if (tele->addressing().space_bits() > 0) {
+            out.space.add(tele->addressing().space_bits());
+          }
+        }
+        return out;
+      });
+
   TextTable table({"policy", "coverage", "avg code len", "max code len",
                    "avg space bits"});
-  for (const Policy& p : policies) {
-    NetworkConfig cfg;
-    cfg.topology = make_tight_grid(opt.seed);
-    cfg.seed = opt.seed;
-    cfg.protocol = ControlProtocol::kReTele;
-    cfg.tele.addressing.headroom = p.headroom;
-    Network net(cfg);
-    net.start();
-    net.run_for(converge);
-
-    SummaryStats len, space;
-    for (NodeId i = 1; i < net.size(); ++i) {
-      const auto* tele = net.node(i).tele();
-      if (tele == nullptr) continue;
-      if (tele->addressing().has_code()) {
-        len.add(static_cast<double>(tele->addressing().code().size()));
-      }
-      if (tele->addressing().space_bits() > 0) {
-        space.add(tele->addressing().space_bits());
-      }
-    }
-    table.row({p.name, TextTable::fmt_pct(net.code_coverage(), 1),
-               TextTable::fmt(len.mean(), 2), TextTable::fmt(len.max(), 0),
-               TextTable::fmt(space.mean(), 2)});
+  for (std::size_t pi = 0; pi < std::size(policies); ++pi) {
+    const PolicyResult& r = results[pi];
+    table.row({policies[pi].name, TextTable::fmt_pct(r.coverage, 1),
+               TextTable::fmt(r.len.mean(), 2), TextTable::fmt(r.len.max(), 0),
+               TextTable::fmt(r.space.mean(), 2)});
   }
   emit_table(table, "ablation_space");
   std::printf("expected: more headroom -> longer codes, wider spaces; "

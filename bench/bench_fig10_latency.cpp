@@ -24,12 +24,22 @@ int main(int argc, char** argv) {
       ControlProtocol::kDrip, ControlProtocol::kRpl, ControlProtocol::kTele,
       ControlProtocol::kReTele};
 
+  // Queue all 8 (protocol, channel) cells up front so the whole sweep shares
+  // the trial runner's worker pool.
+  TrialBatch batch(opt);
+  for (bool wifi : {false, true}) {
+    for (ControlProtocol p : protocols) batch.cell(p, wifi);
+  }
+  const auto cells = batch.run();
+
+  std::size_t next_cell = 0;
   for (bool wifi : {false, true}) {
     std::printf("\n--- %s ---\n", channel_name(wifi));
     std::vector<ControlExperimentResult> results;
     std::set<int> hops;
     for (ControlProtocol p : protocols) {
-      results.push_back(run_testbed(p, wifi, opt));
+      (void)p;
+      results.push_back(cells[next_cell++]);
       for (const auto& [h, s] : results.back().latency_by_hop.groups()) {
         (void)s;
         hops.insert(h);
@@ -67,5 +77,6 @@ int main(int argc, char** argv) {
     emit_table(summary, "fig10_latency_summary_" + channel);
   }
   std::printf("\npaper: Drip < Tele << RPL at every hop count\n");
+  emit_runner_stats(batch, "fig10_latency");
   return 0;
 }

@@ -23,12 +23,22 @@ int main(int argc, char** argv) {
       ControlProtocol::kDrip, ControlProtocol::kRpl, ControlProtocol::kTele,
       ControlProtocol::kReTele};
 
+  // All 8 (protocol, channel) cells go into one batch so every trial of the
+  // sweep shares the worker pool; tables render afterwards in queue order.
+  TrialBatch batch(opt);
+  for (bool wifi : {false, true}) {
+    for (ControlProtocol p : protocols) batch.cell(p, wifi);
+  }
+  const auto cells = batch.run();
+
+  std::size_t next_cell = 0;
   for (bool wifi : {false, true}) {
     std::printf("\n--- %s ---\n", channel_name(wifi));
     std::vector<ControlExperimentResult> results;
     std::set<int> hops;
     for (ControlProtocol p : protocols) {
-      results.push_back(run_testbed(p, wifi, opt));
+      (void)p;
+      results.push_back(cells[next_cell++]);
       for (const auto& [h, s] : results.back().pdr_by_hop.groups()) {
         (void)s;
         hops.insert(h);
@@ -53,5 +63,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  emit_runner_stats(batch, "fig7_pdr");
   return 0;
 }

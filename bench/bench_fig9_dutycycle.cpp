@@ -21,12 +21,21 @@ int main(int argc, char** argv) {
                                        ControlProtocol::kReTele};
   const char* paper[] = {"5.01% / 5.42%", "3.83% / 4.22%", "lowest", "-"};
 
+  // One batch holds all 8 (protocol, channel) cells: clean at 2*pi,
+  // noisy at 2*pi + 1.
+  TrialBatch batch(opt);
+  for (std::size_t pi = 0; pi < 4; ++pi) {
+    batch.cell(protocols[pi], false);
+    batch.cell(protocols[pi], true);
+  }
+  const auto cells = batch.run();
+
   TextTable table({"protocol", "ch26 duty", "ch19 duty", "paper (26/19)",
                    "ch26 mA", "ch19 mA", "p50 (s)", "p90 (s)", "p99 (s)",
                    "ch26 uJ/cmd", "ch19 uJ/cmd"});
   for (std::size_t pi = 0; pi < 4; ++pi) {
-    const auto clean = run_testbed(protocols[pi], false, opt);
-    const auto noisy = run_testbed(protocols[pi], true, opt);
+    const auto& clean = cells[2 * pi];
+    const auto& noisy = cells[2 * pi + 1];
     table.row({protocol_name(protocols[pi]),
                TextTable::fmt_pct(clean.duty_cycle, 2),
                TextTable::fmt_pct(noisy.duty_cycle, 2), paper[pi],
@@ -39,6 +48,7 @@ int main(int argc, char** argv) {
                TextTable::fmt(noisy.energy_uj_per_command, 1)});
   }
   emit_table(table, "fig9_dutycycle");
+  emit_runner_stats(batch, "fig9_dutycycle");
   std::printf("energy extension: average battery current per node (TelosB "
               "model); a 2xAA pack is ~2200 mAh\n");
   return 0;

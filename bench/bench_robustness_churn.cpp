@@ -29,10 +29,11 @@ int main(int argc, char** argv) {
               cfg.outages + cfg.link_blackouts + (cfg.noise_burst ? 1u : 0u) +
                   (cfg.state_loss_reboot ? 1u : 0u));
 
-  const ChurnSoakResult with_retries = run_churn_soak(cfg);
-  ChurnSoakConfig fire_and_forget = cfg;
-  fire_and_forget.reliable = false;
-  const ChurnSoakResult without = run_churn_soak(fire_and_forget);
+  // Both arms run concurrently on the trial runner (same seed, same fault
+  // schedule — the A/B is about the controller, not the scenario).
+  const ChurnSoakPair pair = run_churn_soak_pair(cfg, opt.jobs);
+  const ChurnSoakResult& with_retries = pair.with_retries;
+  const ChurnSoakResult& without = pair.without;
 
   TextTable table({"controller", "commands", "acked", "delivery", "retries",
                    "escalations", "gave up", "tx/cmd"});

@@ -32,9 +32,16 @@ int main(int argc, char** argv) {
                             : r.tx_per_control * static_cast<double>(r.sent) /
                                   static_cast<double>(r.delivered);
   };
+  // One batch, 6 cells: clean at 2*pi, noisy at 2*pi + 1.
+  TrialBatch batch(opt);
   for (std::size_t pi = 0; pi < 3; ++pi) {
-    const auto clean = run_testbed(protocols[pi], false, opt);
-    const auto noisy = run_testbed(protocols[pi], true, opt);
+    batch.cell(protocols[pi], false);
+    batch.cell(protocols[pi], true);
+  }
+  const auto cells = batch.run();
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    const auto& clean = cells[2 * pi];
+    const auto& noisy = cells[2 * pi + 1];
     tx_del[0][pi] = per_delivered(clean);
     tx_del[1][pi] = per_delivered(noisy);
     table.row({protocol_name(protocols[pi]),
@@ -46,6 +53,7 @@ int main(int argc, char** argv) {
                TextTable::fmt_pct(noisy.pdr(), 1)});
   }
   emit_table(table, "table3_txcount");
+  emit_runner_stats(batch, "table3_txcount");
   if (tx_del[0][2] > 0) {
     std::printf("per *delivered* packet, Tele saves %.1f%% / %.1f%% "
                 "transmissions vs RPL on ch26 / ch19 (paper: >14.3%%; a "

@@ -16,6 +16,13 @@
 //   protocol=retele     tele | retele | drip | rpl | orpl  (retele)
 //   wifi=false          bursty interferer on the channel (false)
 //   seed=1              RNG seed (1)
+//   runs=1              replicate trials; each gets a splitmix64-derived
+//                       seed, trials run concurrently on the trial runner,
+//                       printed metrics merge all runs, and every file sink
+//                       below gets a ".trialN" suffix so no two trials share
+//                       a stream (docs/PARALLELISM.md)
+//   jobs=0              worker threads for the trial runner (0 = TELEA_JOBS
+//                       env, then hardware concurrency)
 //   warmup=20           warm-up minutes (20)
 //   minutes=40          measurement minutes (40)
 //   interval=60         control-packet interval seconds (60)
@@ -59,14 +66,17 @@
 //   noise=DBM           one mid-run noise burst at DBM on a random node (off)
 //   reboot=NODE         state-loss reboot of NODE at mid-run (off)
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <system_error>
 
+#include "harness/artifacts.hpp"
 #include "harness/experiment.hpp"
 #include "harness/faults.hpp"
+#include "harness/runner.hpp"
 #include "harness/topology_export.hpp"
 #include "util/rng.hpp"
 #include "stats/table.hpp"
@@ -179,6 +189,12 @@ int main(int argc, char** argv) {
   Logger::set_level(*log_level);
 
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  const auto runs = static_cast<unsigned>(cfg.get_int("runs", 1));
+  const auto jobs = static_cast<unsigned>(cfg.get_int("jobs", 0));
+  if (runs == 0) {
+    std::fprintf(stderr, "error: runs must be >= 1\n");
+    return 2;
+  }
   const auto protocol = parse_protocol(cfg.get_string("protocol", "retele"));
   if (!protocol.has_value()) {
     std::fprintf(stderr, "error: unknown protocol (tele|retele|drip|rpl|orpl)\n");
@@ -242,193 +258,224 @@ int main(int argc, char** argv) {
   const int reboot_node = static_cast<int>(cfg.get_int("reboot", -1));
   const SimTime duration = experiment.duration;
 
-  experiment.on_warmed_up = [dot_path, trace_path, report_dir, profile,
-                             invariants, failfast, health_opt, flightrec_opt,
-                             timeline_opt, alert_rules, sample_s, timeline_on,
-                             churn, downtime, noise_dbm, reboot_node, duration,
-                             seed](Network& net) {
-    if (!dot_path.empty() && !write_topology_dot(net, dot_path)) {
-      TELEA_WARN("telea_sim") << "could not write " << dot_path;
-    }
-    if (!trace_path.empty() || !report_dir.empty()) net.enable_tracing();
-    if (profile) net.sim().set_profiling(true);
-    if (invariants) {
-      InvariantConfig icfg;
-      icfg.fail_fast = failfast;
-      net.enable_invariants(icfg);
-    }
-    if (opt_enabled(health_opt)) {
-      NetworkHealthConfig hcfg;
-      if (!opt_is_bare_on(health_opt)) hcfg.snapshot_jsonl = health_opt;
-      net.enable_health(hcfg);
-    }
-    if (opt_enabled(flightrec_opt)) {
-      net.enable_flight_recorders();
-      if (!opt_is_bare_on(flightrec_opt)) {
-        const std::string path = flightrec_opt;
-        net.on_flight_dump = [path](const FlightDump& dump) {
-          if (!append_text_line(path, render_flight_dump_json(dump))) {
-            TELEA_WARN("telea_sim") << "could not append to " << path;
-          }
-        };
-      }
-    }
-    if (timeline_on) {
-      NetworkTimelineConfig tcfg;
-      tcfg.timeline.interval = sample_s > 0 ? sample_s * kSecond : 10 * kSecond;
-      tcfg.rules = alert_rules;
-      if (opt_enabled(timeline_opt) && !opt_is_bare_on(timeline_opt)) {
-        tcfg.jsonl = timeline_opt;
-      }
-      net.enable_timeline(tcfg);
-    }
+  // Per-trial callback installation. When runs > 1, every file sink below is
+  // ".trialN"-suffixed so concurrent trials never share a stream — the
+  // ArtifactRegistry turns a violation of that rule into exit 2.
+  const auto invariant_violations =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  const auto configure_trial = [&](ControlExperimentConfig& trial, unsigned t,
+                                   std::uint64_t trial_seed) {
+    const auto sfx = [&](const std::string& path) {
+      return runs > 1 && !path.empty() ? trial_artifact_path(path, t) : path;
+    };
+    const std::string dot_t = sfx(dot_path);
+    const std::string trace_t = sfx(trace_path);
+    const std::string metrics_t = sfx(metrics_dir);
+    const std::string report_t = sfx(report_dir);
+    const bool health_on = opt_enabled(health_opt);
+    const std::string health_file = health_on && !opt_is_bare_on(health_opt)
+                                        ? sfx(health_opt)
+                                        : std::string();
+    const bool flight_on = opt_enabled(flightrec_opt);
+    const std::string flight_file = flight_on && !opt_is_bare_on(flightrec_opt)
+                                        ? sfx(flightrec_opt)
+                                        : std::string();
+    const std::string timeline_file =
+        opt_enabled(timeline_opt) && !opt_is_bare_on(timeline_opt)
+            ? sfx(timeline_opt)
+            : std::string();
 
-    // Fault plan over the measurement window (docs/ROBUSTNESS.md).
-    const SimTime t0 = net.sim().now();
-    FaultPlan plan;
-    if (churn > 0 && duration > 2 * downtime) {
-      // random_churn takes an absolute end time; leave one downtime of slack
-      // so the last outage's revive still lands inside the measurement.
-      plan = FaultPlan::random_churn(net.size(), churn, t0 + kMinute,
-                                     t0 + duration - downtime, downtime,
-                                     seed ^ 0x51Cull);
-    }
-    if (noise_dbm <= 0.0) {
-      Pcg32 rng(seed, 0x4011ull);
-      const NodeId victim =
-          static_cast<NodeId>(1 + rng.uniform(
-              static_cast<std::uint32_t>(net.size() - 1)));
-      plan.noise_burst(t0 + duration / 2, 2 * kMinute, {victim}, noise_dbm);
-      std::printf("fault: noise burst at %.1f dBm on node %u mid-run\n",
-                  noise_dbm, victim);
-    }
-    if (reboot_node >= 0 && static_cast<std::size_t>(reboot_node) < net.size()) {
-      plan.reboot_with_state_loss_at(t0 + duration / 3,
-                                     static_cast<NodeId>(reboot_node));
-      std::printf("fault: state-loss reboot of node %d at t+%.0f s\n",
-                  reboot_node, to_seconds(duration / 3));
-    }
-    if (!plan.events().empty()) {
-      std::printf("fault plan: %zu scheduled events\n", plan.events().size());
-      plan.apply(net);
-    }
-  };
-  const auto invariant_violations = std::make_shared<std::uint64_t>(0);
-  experiment.on_finished = [trace_path, metrics_dir, report_dir, profile,
-                            flightrec_opt, timeline_opt,
-                            invariant_violations](Network& net) {
-    if (TimelineEngine* tl = net.timeline()) {
-      tl->sample_now();  // close the run with a final boundary sample
-      std::printf("timeline: %llu samples, %zu series, alerts fired %llu / "
-                  "resolved %llu%s%s\n",
-                  static_cast<unsigned long long>(tl->samples_taken()),
-                  tl->series_count(),
-                  static_cast<unsigned long long>(tl->alerts_fired_total()),
-                  static_cast<unsigned long long>(tl->alerts_resolved_total()),
-                  opt_is_bare_on(timeline_opt) || timeline_opt.empty() ? ""
-                                                                       : " -> ",
-                  opt_is_bare_on(timeline_opt) ? "" : timeline_opt.c_str());
-      for (const AlertState& a : tl->alerts()) {
-        if (a.fired == 0) continue;
-        std::printf("  alert %s: fired %llu, resolved %llu, last at t+%.0f s "
-                    "(%s)\n",
-                    a.rule.name.c_str(),
-                    static_cast<unsigned long long>(a.fired),
-                    static_cast<unsigned long long>(a.resolved),
-                    to_seconds(a.last_fired),
-                    a.active ? "still active" : "clear");
+    trial.on_warmed_up = [dot_t, trace_t, report_t, profile, invariants,
+                          failfast, health_on, health_file, flight_on,
+                          flight_file, timeline_on, timeline_file, alert_rules,
+                          sample_s, churn, downtime, noise_dbm, reboot_node,
+                          duration, trial_seed](Network& net) {
+      if (!dot_t.empty() && !write_topology_dot(net, dot_t)) {
+        TELEA_WARN("telea_sim") << "could not write " << dot_t;
       }
-    }
-    if (NetworkHealthModel* health = net.health()) {
-      const SimTime now = net.sim().now();
-      std::printf("health: coverage %s (%zu/%zu fresh), %llu reports, "
-                  "%llu bytes in-band, %llu stale-dropped\n",
-                  TextTable::fmt_pct(health->coverage(now), 1).c_str(),
-                  health->tracked() - health->stale_nodes(now).size(),
-                  health->expected_nodes(),
-                  static_cast<unsigned long long>(health->stats().reports),
-                  static_cast<unsigned long long>(health->stats().bytes),
-                  static_cast<unsigned long long>(
-                      health->stats().stale_dropped));
-      if (!net.health_config().snapshot_jsonl.empty()) {
-        if (net.append_health_snapshot()) {
-          std::printf("health: snapshots -> %s\n",
-                      net.health_config().snapshot_jsonl.c_str());
+      if (!trace_t.empty() || !report_t.empty()) net.enable_tracing();
+      if (profile) net.sim().set_profiling(true);
+      if (invariants) {
+        InvariantConfig icfg;
+        icfg.fail_fast = failfast;
+        net.enable_invariants(icfg);
+      }
+      if (health_on) {
+        NetworkHealthConfig hcfg;
+        hcfg.snapshot_jsonl = health_file;
+        net.enable_health(hcfg);
+      }
+      if (flight_on) {
+        net.enable_flight_recorders();
+        if (!flight_file.empty()) {
+          const std::string path = flight_file;
+          net.on_flight_dump = [path](const FlightDump& dump) {
+            if (!append_text_line(path, render_flight_dump_json(dump))) {
+              TELEA_WARN("telea_sim") << "could not append to " << path;
+            }
+          };
+        }
+      }
+      if (timeline_on) {
+        NetworkTimelineConfig tcfg;
+        tcfg.timeline.interval =
+            sample_s > 0 ? sample_s * kSecond : 10 * kSecond;
+        tcfg.rules = alert_rules;
+        tcfg.jsonl = timeline_file;
+        net.enable_timeline(tcfg);
+      }
+
+      // Fault plan over the measurement window (docs/ROBUSTNESS.md).
+      const SimTime t0 = net.sim().now();
+      FaultPlan plan;
+      if (churn > 0 && duration > 2 * downtime) {
+        // random_churn takes an absolute end time; leave one downtime of
+        // slack so the last outage's revive still lands inside the
+        // measurement.
+        plan = FaultPlan::random_churn(net.size(), churn, t0 + kMinute,
+                                       t0 + duration - downtime, downtime,
+                                       trial_seed ^ 0x51Cull);
+      }
+      if (noise_dbm <= 0.0) {
+        Pcg32 rng(trial_seed, 0x4011ull);
+        const NodeId victim =
+            static_cast<NodeId>(1 + rng.uniform(
+                static_cast<std::uint32_t>(net.size() - 1)));
+        plan.noise_burst(t0 + duration / 2, 2 * kMinute, {victim}, noise_dbm);
+        std::printf("fault: noise burst at %.1f dBm on node %u mid-run\n",
+                    noise_dbm, victim);
+      }
+      if (reboot_node >= 0 &&
+          static_cast<std::size_t>(reboot_node) < net.size()) {
+        plan.reboot_with_state_loss_at(t0 + duration / 3,
+                                       static_cast<NodeId>(reboot_node));
+        std::printf("fault: state-loss reboot of node %d at t+%.0f s\n",
+                    reboot_node, to_seconds(duration / 3));
+      }
+      if (!plan.events().empty()) {
+        std::printf("fault plan: %zu scheduled events\n",
+                    plan.events().size());
+        plan.apply(net);
+      }
+    };
+    trial.on_finished = [trace_t, metrics_t, report_t, profile, flight_file,
+                         timeline_file, invariant_violations](Network& net) {
+      if (TimelineEngine* tl = net.timeline()) {
+        tl->sample_now();  // close the run with a final boundary sample
+        std::printf("timeline: %llu samples, %zu series, alerts fired %llu / "
+                    "resolved %llu%s%s\n",
+                    static_cast<unsigned long long>(tl->samples_taken()),
+                    tl->series_count(),
+                    static_cast<unsigned long long>(tl->alerts_fired_total()),
+                    static_cast<unsigned long long>(
+                        tl->alerts_resolved_total()),
+                    timeline_file.empty() ? "" : " -> ",
+                    timeline_file.c_str());
+        for (const AlertState& a : tl->alerts()) {
+          if (a.fired == 0) continue;
+          std::printf("  alert %s: fired %llu, resolved %llu, last at "
+                      "t+%.0f s (%s)\n",
+                      a.rule.name.c_str(),
+                      static_cast<unsigned long long>(a.fired),
+                      static_cast<unsigned long long>(a.resolved),
+                      to_seconds(a.last_fired),
+                      a.active ? "still active" : "clear");
+        }
+      }
+      if (NetworkHealthModel* health = net.health()) {
+        const SimTime now = net.sim().now();
+        std::printf("health: coverage %s (%zu/%zu fresh), %llu reports, "
+                    "%llu bytes in-band, %llu stale-dropped\n",
+                    TextTable::fmt_pct(health->coverage(now), 1).c_str(),
+                    health->tracked() - health->stale_nodes(now).size(),
+                    health->expected_nodes(),
+                    static_cast<unsigned long long>(health->stats().reports),
+                    static_cast<unsigned long long>(health->stats().bytes),
+                    static_cast<unsigned long long>(
+                        health->stats().stale_dropped));
+        if (!net.health_config().snapshot_jsonl.empty()) {
+          if (net.append_health_snapshot()) {
+            std::printf("health: snapshots -> %s\n",
+                        net.health_config().snapshot_jsonl.c_str());
+          } else {
+            TELEA_WARN("telea_sim")
+                << "could not write " << net.health_config().snapshot_jsonl;
+          }
+        }
+      }
+      if (net.flight_recorders_enabled()) {
+        std::printf("flightrec: %zu dump(s) captured%s%s\n",
+                    net.flight_dumps().size(),
+                    flight_file.empty() ? "" : " -> ", flight_file.c_str());
+      }
+      if (InvariantEngine* inv = net.invariants()) {
+        inv->final_audit();
+        invariant_violations->fetch_add(inv->violations().size(),
+                                        std::memory_order_relaxed);
+        std::printf("invariants: %llu checkpoints, %llu claims audited, "
+                    "%zu violations\n",
+                    static_cast<unsigned long long>(inv->checkpoints_run()),
+                    static_cast<unsigned long long>(inv->claims_audited()),
+                    inv->violations().size());
+        if (!inv->violations().empty()) {
+          std::printf("%s", inv->render_report().c_str());
+        }
+      }
+      if (!trace_t.empty()) {
+        if (net.tracer()->write_jsonl(trace_t)) {
+          std::printf("trace: %zu records -> %s (%llu dropped)\n",
+                      net.tracer()->size(), trace_t.c_str(),
+                      static_cast<unsigned long long>(net.tracer()->dropped()));
         } else {
-          TELEA_WARN("telea_sim")
-              << "could not write " << net.health_config().snapshot_jsonl;
+          TELEA_WARN("telea_sim") << "could not write " << trace_t;
         }
       }
-    }
-    if (net.flight_recorders_enabled()) {
-      std::printf("flightrec: %zu dump(s) captured%s%s\n",
-                  net.flight_dumps().size(),
-                  opt_is_bare_on(flightrec_opt) ? "" : " -> ",
-                  opt_is_bare_on(flightrec_opt) ? "" : flightrec_opt.c_str());
-    }
-    if (InvariantEngine* inv = net.invariants()) {
-      inv->final_audit();
-      *invariant_violations = inv->violations().size();
-      std::printf("invariants: %llu checkpoints, %llu claims audited, "
-                  "%zu violations\n",
-                  static_cast<unsigned long long>(inv->checkpoints_run()),
-                  static_cast<unsigned long long>(inv->claims_audited()),
-                  inv->violations().size());
-      if (!inv->violations().empty()) {
-        std::printf("%s", inv->render_report().c_str());
-      }
-    }
-    if (!trace_path.empty()) {
-      if (net.tracer()->write_jsonl(trace_path)) {
-        std::printf("trace: %zu records -> %s (%llu dropped)\n",
-                    net.tracer()->size(), trace_path.c_str(),
-                    static_cast<unsigned long long>(net.tracer()->dropped()));
-      } else {
-        TELEA_WARN("telea_sim") << "could not write " << trace_path;
-      }
-    }
-    if (!metrics_dir.empty()) {
-      MetricsRegistry registry;
-      net.collect_metrics(registry);
-      std::error_code ec;
-      std::filesystem::create_directories(metrics_dir, ec);
-      const std::string prom = metrics_dir + "/metrics.prom";
-      const std::string json = metrics_dir + "/metrics.json";
-      if (ec || !registry.write_prometheus(prom) || !registry.write_json(json)) {
-        TELEA_WARN("telea_sim") << "could not write metrics into "
-                                << metrics_dir;
-      } else {
-        std::printf("metrics: %zu instruments -> %s, %s\n", registry.size(),
-                    prom.c_str(), json.c_str());
-      }
-    }
-    if (!report_dir.empty()) {
-      const std::vector<CommandSpan> spans = net.command_spans();
-      const SpanEnergyConfig energy = net.span_energy_config();
-      std::error_code ec;
-      std::filesystem::create_directories(report_dir, ec);
-      const std::string report_path = report_dir + "/report_sim.json";
-      const std::string perfetto_path = report_dir + "/trace.perfetto.json";
-      if (ec ||
-          !write_text_file(report_path,
-                           render_report_json(spans, energy, "sim")) ||
-          !write_text_file(perfetto_path, render_perfetto_json(spans))) {
-        TELEA_WARN("telea_sim") << "could not write report into " << report_dir;
-      } else {
-        std::printf("report: %zu command spans -> %s, %s\n", spans.size(),
-                    report_path.c_str(), perfetto_path.c_str());
-        const std::size_t failures = count_reconcile_failures(spans);
-        if (failures > 0) {
-          std::fprintf(stderr,
-                       "telea_sim: %zu span(s) failed segment-sum "
-                       "reconciliation\n",
-                       failures);
+      if (!metrics_t.empty()) {
+        MetricsRegistry registry;
+        net.collect_metrics(registry);
+        std::error_code ec;
+        std::filesystem::create_directories(metrics_t, ec);
+        const std::string prom = metrics_t + "/metrics.prom";
+        const std::string json = metrics_t + "/metrics.json";
+        if (ec || !registry.write_prometheus(prom) ||
+            !registry.write_json(json)) {
+          TELEA_WARN("telea_sim") << "could not write metrics into "
+                                  << metrics_t;
+        } else {
+          std::printf("metrics: %zu instruments -> %s, %s\n", registry.size(),
+                      prom.c_str(), json.c_str());
         }
       }
-    }
-    if (profile) {
-      std::printf("\nsimulator profile:\n%s", net.sim().profile().render().c_str());
-    }
+      if (!report_t.empty()) {
+        const std::vector<CommandSpan> spans = net.command_spans();
+        const SpanEnergyConfig energy = net.span_energy_config();
+        std::error_code ec;
+        std::filesystem::create_directories(report_t, ec);
+        const std::string report_path = report_t + "/report_sim.json";
+        const std::string perfetto_path = report_t + "/trace.perfetto.json";
+        if (ec ||
+            !write_text_file(report_path,
+                             render_report_json(spans, energy, "sim")) ||
+            !write_text_file(perfetto_path, render_perfetto_json(spans))) {
+          TELEA_WARN("telea_sim") << "could not write report into "
+                                  << report_t;
+        } else {
+          std::printf("report: %zu command spans -> %s, %s\n", spans.size(),
+                      report_path.c_str(), perfetto_path.c_str());
+          const std::size_t failures = count_reconcile_failures(spans);
+          if (failures > 0) {
+            std::fprintf(stderr,
+                         "telea_sim: %zu span(s) failed segment-sum "
+                         "reconciliation\n",
+                         failures);
+          }
+        }
+      }
+      if (profile) {
+        std::printf("\nsimulator profile:\n%s",
+                    net.sim().profile().render().c_str());
+      }
+    };
   };
 
   // A typo'd option silently falling back to its default would run (and
@@ -442,6 +489,7 @@ int main(int argc, char** argv) {
         stderr,
         "usage: telea_sim [config=FILE] [topology=NAME] [nodes=N] [side=M]\n"
         "                 [spacing=M] [protocol=NAME] [wifi=BOOL] [seed=N]\n"
+        "                 [runs=N] [jobs=N]\n"
         "                 [warmup=MIN] [minutes=MIN] [interval=S] [ipi=S]\n"
         "                 [csv=DIR] [dot=FILE] [trace=FILE] [metrics=DIR]\n"
         "                 [report=DIR] [profile=BOOL] [invariants=BOOL]\n"
@@ -464,7 +512,38 @@ int main(int argc, char** argv) {
               to_seconds(experiment.duration) / 60,
               to_seconds(experiment.control_interval));
 
-  const ControlExperimentResult r = run_control_experiment(experiment);
+  // Build one config per trial. runs=1 keeps the seed (and output) exactly
+  // as before; runs>1 derives per-trial seeds so replicates are independent.
+  std::vector<ControlExperimentConfig> trials;
+  trials.reserve(runs);
+  for (unsigned t = 0; t < runs; ++t) {
+    ControlExperimentConfig trial = experiment;
+    std::uint64_t trial_seed = seed;
+    if (runs > 1) {
+      trial_seed = derive_trial_seed(seed, t);
+      trial.network.topology = *parse_topology(cfg, trial_seed);
+      trial.network.seed = trial_seed;
+    }
+    configure_trial(trial, t, trial_seed);
+    trials.push_back(std::move(trial));
+  }
+
+  ControlExperimentResult r;
+  try {
+    TrialRunner runner(RunnerConfig{jobs, {}});
+    const auto results =
+        runner.run_indexed(trials.size(), [&trials](std::size_t i) {
+          return run_control_experiment(trials[i]);
+        });
+    r = merge_results(results);
+    if (runs > 1) {
+      std::printf("\nrunner: %u trial(s) on %u worker(s), %.2f s wall\n", runs,
+                  runner.jobs(), runner.last_wall_seconds());
+    }
+  } catch (const ArtifactConflictError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   std::printf("\ncontrol packets: sent %u, delivered %u (PDR %s), "
               "e2e-acked %u\n",
@@ -480,9 +559,10 @@ int main(int argc, char** argv) {
                 csv_dir, "sim_latency");
   print_grouped("accumulated tx hops by receiver hop count:", r.athx_by_hop,
                 false, csv_dir, "sim_athx");
-  if (*invariant_violations > 0) {
+  if (invariant_violations->load(std::memory_order_relaxed) > 0) {
     std::fprintf(stderr, "telea_sim: %llu invariant violations\n",
-                 static_cast<unsigned long long>(*invariant_violations));
+                 static_cast<unsigned long long>(
+                     invariant_violations->load(std::memory_order_relaxed)));
     return 3;
   }
   return 0;

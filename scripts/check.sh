@@ -12,9 +12,11 @@
 #   thread    build-tsan/    -DTELEA_SANITIZE=thread              tier-1, soak excluded
 #
 # Why each stage: the soaks run once under ASan/UBSan because their fault-plan
-# churn covers the most lifecycle/teardown code per wall-clock second. The
-# simulator is single-threaded by design, so TSan exists to prove nothing grew
-# a thread — the fast suite is enough signal there. The static stage always
+# churn covers the most lifecycle/teardown code per wall-clock second. Each
+# simulation is single-threaded by design, but the trial runner
+# (src/harness/runner, docs/PARALLELISM.md) executes independent trials on a
+# worker pool — so the TSan stage additionally drives a runner-backed bench
+# smoke at jobs=8 to prove the pool shares nothing mutable between trials. The static stage always
 # runs tools/telea_lint (built from this tree); clang-tidy and cppcheck run
 # only when installed (CI installs them; a bare container skips with a notice).
 #
@@ -177,6 +179,13 @@ if [ "$run_san" = 1 ]; then
   echo "== TSan build + tests (fast label) =="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   build_and_test "$repo/build-tsan" "" "-DTELEA_SANITIZE=thread"
+
+  echo "== TSan runner smoke (8 concurrent trials) =="
+  # The trial runner under maximum concurrency: 8 workers over the fig7
+  # sweep's 8 trials. Any cross-trial shared mutable state is a TSan report.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  "$repo/build-tsan/bench/bench_fig7_pdr" --runs 1 --warmup 4 --minutes 4 \
+    --jobs 8
 fi
 
 echo "all checks passed"

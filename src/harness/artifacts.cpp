@@ -1,0 +1,32 @@
+#include "harness/artifacts.hpp"
+
+namespace telea {
+
+ArtifactRegistry& ArtifactRegistry::instance() {
+  static ArtifactRegistry registry;
+  return registry;
+}
+
+void ArtifactRegistry::claim(const std::string& path) {
+  if (path.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_.insert(path).second) {
+    throw ArtifactConflictError(
+        "artifact path '" + path +
+        "' is already opened by a live trial — give each trial its own "
+        "stream (trial_artifact_path suffixes them; docs/PARALLELISM.md)");
+  }
+}
+
+void ArtifactRegistry::release(const std::string& path) {
+  if (path.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  open_.erase(path);
+}
+
+bool ArtifactRegistry::claimed(const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return open_.contains(path);
+}
+
+}  // namespace telea

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace telea {
+
+/// Thrown when a trial tries to open an artifact output stream another live
+/// trial already owns. Two simulations appending to the same JSONL file
+/// silently interleave their lines — worse than failing, because the merged
+/// artifact parses and *looks* plausible. CLI entry points (telea_sim) turn
+/// this into exit 2; docs/PARALLELISM.md carries the contract.
+class ArtifactConflictError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Process-wide set of artifact paths currently owned by live trials
+/// (Network instances). This is the one deliberately-shared piece of runner
+/// state: a mutex-guarded claim table whose behavior is order-independent —
+/// it only ever turns a silent interleave into a loud error, so it cannot
+/// perturb trial results.
+class ArtifactRegistry {
+ public:
+  static ArtifactRegistry& instance();
+
+  /// Claims `path` for the caller. Throws ArtifactConflictError when the
+  /// path is already claimed by a live owner. Empty paths are ignored.
+  void claim(const std::string& path);
+
+  /// Releases a claim (no-op when `path` was never claimed).
+  void release(const std::string& path);
+
+  [[nodiscard]] bool claimed(const std::string& path) const;
+
+ private:
+  ArtifactRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::set<std::string> open_;
+};
+
+}  // namespace telea

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/path_code.hpp"
+#include "harness/artifacts.hpp"
 #include "radio/phy.hpp"
 #include "stats/energy.hpp"
 #include "util/rng.hpp"
@@ -295,6 +296,12 @@ Network::Network(NetworkConfig config) : config_(std::move(config)) {
       sink_tele->set_controller_hook(
           [this](NodeId dest, std::uint32_t) { return suggest_detour(dest); });
     }
+  }
+}
+
+Network::~Network() {
+  for (const std::string& path : artifact_claims_) {
+    ArtifactRegistry::instance().release(path);
   }
 }
 
@@ -612,6 +619,12 @@ InvariantEngine& Network::enable_invariants(const InvariantConfig& config) {
 
 NetworkHealthModel& Network::enable_health(const NetworkHealthConfig& config) {
   if (health_ != nullptr) return *health_;
+  // Claim the snapshot stream before any state lands: a collision with a
+  // live trial must throw and leave this network health-off.
+  if (!config.snapshot_jsonl.empty()) {
+    ArtifactRegistry::instance().claim(config.snapshot_jsonl);
+    artifact_claims_.push_back(config.snapshot_jsonl);
+  }
   health_config_ = config;
   if (health_config_.period == 0) health_config_.period = 60 * kSecond;
 
@@ -652,6 +665,10 @@ bool Network::append_health_snapshot() {
 
 TimelineEngine& Network::enable_timeline(const NetworkTimelineConfig& config) {
   if (timeline_ != nullptr) return *timeline_;
+  if (!config.jsonl.empty()) {
+    ArtifactRegistry::instance().claim(config.jsonl);
+    artifact_claims_.push_back(config.jsonl);
+  }
   timeline_ = std::make_unique<TimelineEngine>(sim_, config.timeline);
   // Self-inclusion is intentional: the engine's own telea_timeline_* /
   // telea_alert_* families ride in the same collector pass, one sample late

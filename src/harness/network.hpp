@@ -202,6 +202,11 @@ class Network {
  public:
   explicit Network(NetworkConfig config);
 
+  /// Releases this trial's artifact-path claims (see enable_health /
+  /// enable_timeline): a later trial may reuse the paths once this network
+  /// is gone.
+  ~Network();
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -293,7 +298,10 @@ class Network {
   /// them into a staleness-aware NetworkHealthModel, and Re-Tele detour
   /// selection starts preferring fresh, healthy candidates. Idempotent —
   /// the config of the first call wins; the model lives as long as the
-  /// network.
+  /// network. A non-empty snapshot_jsonl is claimed in the process-wide
+  /// ArtifactRegistry for this network's lifetime; if another live trial
+  /// already owns the path this throws ArtifactConflictError instead of
+  /// silently interleaving two snapshot streams (docs/PARALLELISM.md).
   NetworkHealthModel& enable_health(const NetworkHealthConfig& config = {});
   [[nodiscard]] NetworkHealthModel* health() noexcept { return health_.get(); }
   [[nodiscard]] const NetworkHealthConfig& health_config() const noexcept {
@@ -311,7 +319,9 @@ class Network {
   /// sample (firings land in the tracer, the metrics, and — when flight
   /// recorders are armed — a flight dump with trigger "alert:<rule>"), and
   /// samples stream to `config.jsonl` when set. Idempotent — the config of
-  /// the first call wins; the engine lives as long as the network.
+  /// the first call wins; the engine lives as long as the network. A
+  /// non-empty jsonl path is claimed like enable_health's snapshot stream:
+  /// a collision with a live trial throws ArtifactConflictError.
   TimelineEngine& enable_timeline(const NetworkTimelineConfig& config = {});
   [[nodiscard]] TimelineEngine* timeline() noexcept { return timeline_.get(); }
 
@@ -361,6 +371,8 @@ class Network {
   bool flight_enabled_ = false;
   std::vector<FlightDump> flight_dumps_;  // bounded, newest kept
   std::uint64_t flight_dumps_taken_ = 0;  // monotone, for metrics
+  // Artifact paths this network holds in the ArtifactRegistry.
+  std::vector<std::string> artifact_claims_;
 };
 
 }  // namespace telea

@@ -1,0 +1,152 @@
+#include "harness/runner.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <thread>
+
+namespace telea {
+
+namespace {
+
+/// Mutex/condvar work queue of trial indices. The producer enqueues the
+/// whole batch and closes; workers block in pop() until an index is
+/// available or the queue is finished (closed-and-empty, or aborted).
+class IndexQueue {
+ public:
+  void push_all(std::vector<std::size_t> indices) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_ = std::move(indices);
+      next_ = 0;
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Blocks until an index is available; std::nullopt when drained/aborted.
+  std::optional<std::size_t> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] {
+      return aborted_ || (closed_ && next_ <= queue_.size());
+    });
+    if (aborted_ || next_ >= queue_.size()) return std::nullopt;
+    return queue_[next_++];
+  }
+
+  /// Drops every not-yet-popped index (first trial failure wins).
+  void abort() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<std::size_t> queue_;
+  std::size_t next_ = 0;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TELEA_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::string trial_artifact_path(const std::string& path,
+                                std::size_t trial_index) {
+  const std::string suffix = ".trial" + std::to_string(trial_index);
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;  // no extension: append
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+TrialRunner::TrialRunner(RunnerConfig config)
+    : jobs_(resolve_jobs(config.jobs)),
+      dispatch_order_(std::move(config.dispatch_order)) {}
+
+void TrialRunner::run_tasks(std::size_t count,
+                            const std::function<void(std::size_t)>& task) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  last_trials_ = count;
+
+  // Dispatch order: the test hook's permutation when it is a valid
+  // permutation of [0, count), else submission order. Either way the
+  // *results* are identical — that is the contract under test.
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (dispatch_order_.size() == count) {
+    std::vector<bool> seen(count, false);
+    bool valid = true;
+    for (const std::size_t i : dispatch_order_) {
+      if (i >= count || seen[i]) {
+        valid = false;
+        break;
+      }
+      seen[i] = true;
+    }
+    if (valid) order = dispatch_order_;
+  }
+
+  const std::size_t workers =
+      count < static_cast<std::size_t>(jobs_) ? count : jobs_;
+  if (workers <= 1) {
+    // Inline fast path: jobs=1 runs on the calling thread, which is also
+    // the reference ordering every parallel run must reproduce.
+    for (const std::size_t i : order) task(i);
+    last_wall_seconds_ = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    return;
+  }
+
+  IndexQueue queue;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  queue.push_all(std::move(order));
+
+  const auto worker = [&queue, &error_mutex, &first_error, &task] {
+    while (const auto index = queue.pop()) {
+      try {
+        task(*index);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        queue.abort();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  last_wall_seconds_ = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace telea

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace telea {
+
+/// splitmix64 output function (Steele/Lea/Flood 2014; the java.util
+/// SplittableRandom mixer): a bijective 64-bit finalizer, so distinct inputs
+/// give distinct outputs.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// The per-trial seed of the determinism contract (docs/PARALLELISM.md):
+/// the `trial_index`-th output of a splitmix64 stream seeded with
+/// `base_seed`. A pure function of (base_seed, trial_index), so it never
+/// depends on worker count or completion order — and because the mixer is a
+/// bijection over the gamma-strided inputs, every trial of a sweep gets a
+/// *unique* seed (asserted by the runner seed-sweep smoke test).
+[[nodiscard]] constexpr std::uint64_t derive_trial_seed(
+    std::uint64_t base_seed, std::uint64_t trial_index) noexcept {
+  return splitmix64_mix(base_seed +
+                        (trial_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+/// Worker-count resolution shared by every bench binary and telea_sim:
+/// `requested` when > 0, else the TELEA_JOBS environment variable when set
+/// to a positive integer, else std::thread::hardware_concurrency() (at
+/// least 1). Oversubscription is allowed — correctness never depends on the
+/// count.
+[[nodiscard]] unsigned resolve_jobs(unsigned requested = 0);
+
+/// "out/trace.jsonl" -> "out/trace.trial3.jsonl": the trial-index suffix
+/// every per-trial artifact sink gets so concurrent trials never share a
+/// stream. Inserted before the final extension; a path without an extension
+/// gets ".trial<N>" appended.
+[[nodiscard]] std::string trial_artifact_path(const std::string& path,
+                                              std::size_t trial_index);
+
+struct RunnerConfig {
+  /// 0 = resolve_jobs() (TELEA_JOBS env, then hardware concurrency).
+  unsigned jobs = 0;
+  /// Test hook: the order trial indices are handed to workers. Must be a
+  /// permutation of [0, count) to take effect (otherwise submission order is
+  /// used). Lets tests prove results are independent of completion order.
+  std::vector<std::size_t> dispatch_order;
+};
+
+/// A deterministic parallel trial runner: executes `count` independent
+/// trials on a small worker pool (std::thread + mutex/condvar work queue)
+/// and returns their results indexed by trial — submission order, bit-
+/// identical whatever the worker count, the dispatch order, or the host's
+/// scheduling. The contract (docs/PARALLELISM.md) is that a trial is a pure
+/// function of its own config and derived seed: each one builds a fully
+/// isolated Simulator/Network and shares nothing mutable with its siblings.
+class TrialRunner {
+ public:
+  explicit TrialRunner(RunnerConfig config = {});
+
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  /// The resolved worker count.
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Runs fn(i) for every i in [0, count) across the pool and returns the
+  /// results with results[i] == fn(i). The first exception a trial throws is
+  /// rethrown here (after the pool drains); remaining queued trials are
+  /// abandoned. R must be default-constructible and movable.
+  template <typename Fn>
+  auto run_indexed(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+    using R = std::decay_t<decltype(fn(std::size_t{}))>;
+    std::vector<R> results(count);
+    run_tasks(count,
+              [&results, &fn](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// Wall-clock seconds the last run_indexed/run_tasks call took — the
+  /// numerator of the bench runner-stats artifact. Host time, so it is the
+  /// one runner output that is *not* deterministic; it never feeds a result
+  /// table.
+  [[nodiscard]] double last_wall_seconds() const noexcept {
+    return last_wall_seconds_;
+  }
+
+  /// Trials executed by the last run (== count; completion accounting for
+  /// the seed-sweep smoke test).
+  [[nodiscard]] std::uint64_t last_trials() const noexcept {
+    return last_trials_;
+  }
+
+  /// Type-erased core: pops trial indices off the work queue and invokes
+  /// `task` until the queue drains. Public so non-template callers (soak
+  /// pair, tools) can drive it without instantiating run_indexed.
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& task);
+
+ private:
+  unsigned jobs_;
+  std::vector<std::size_t> dispatch_order_;
+  double last_wall_seconds_ = 0.0;
+  std::uint64_t last_trials_ = 0;
+};
+
+}  // namespace telea

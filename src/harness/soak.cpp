@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness/faults.hpp"
+#include "harness/runner.hpp"
 #include "stats/spans.hpp"
 #include "topo/topology.hpp"
 #include "util/logging.hpp"
@@ -288,6 +289,27 @@ ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg) {
                              << result.gave_up << " gave up, "
                              << result.unresolved << " unresolved";
   return result;
+}
+
+ChurnSoakPair run_churn_soak_pair(const ChurnSoakConfig& cfg, unsigned jobs) {
+  // Arm 0 keeps cfg.reliable (the configured controller); arm 1 is the
+  // fire-and-forget twin. Same seed on purpose: the comparison is about the
+  // controller, so both arms must face the identical fault schedule.
+  std::vector<ChurnSoakConfig> arms(2, cfg);
+  arms[1].reliable = false;
+  for (std::size_t arm = 0; arm < arms.size(); ++arm) {
+    if (!arms[arm].timeline_jsonl.empty()) {
+      arms[arm].timeline_jsonl =
+          trial_artifact_path(arms[arm].timeline_jsonl, arm);
+    }
+    if (!arms[arm].flight_jsonl.empty()) {
+      arms[arm].flight_jsonl = trial_artifact_path(arms[arm].flight_jsonl, arm);
+    }
+  }
+  TrialRunner runner(RunnerConfig{jobs, {}});
+  const auto results = runner.run_indexed(
+      arms.size(), [&arms](std::size_t i) { return run_churn_soak(arms[i]); });
+  return {results[0], results[1]};
 }
 
 std::string churn_soak_json(const ChurnSoakConfig& cfg,

@@ -110,6 +110,20 @@ struct ChurnSoakResult {
 /// Runs one soak end to end. Deterministic in `cfg` (including cfg.seed).
 [[nodiscard]] ChurnSoakResult run_churn_soak(const ChurnSoakConfig& cfg);
 
+/// The A/B comparison both the churn bench and the soak tests report: the
+/// same scenario (same seed, same fault schedule) with the reliable
+/// controller and fire-and-forget. The two arms are independent trials, so
+/// they run concurrently on the trial runner (docs/PARALLELISM.md); any
+/// timeline/flight JSONL paths in `cfg` are trial-suffixed per arm
+/// (".trial0" = reliable, ".trial1" = fire-and-forget) so the arms never
+/// share a stream. Results are identical for any `jobs` (0 = resolve_jobs).
+struct ChurnSoakPair {
+  ChurnSoakResult with_retries;
+  ChurnSoakResult without;
+};
+[[nodiscard]] ChurnSoakPair run_churn_soak_pair(const ChurnSoakConfig& cfg,
+                                                unsigned jobs = 0);
+
 /// The robustness_churn artifact: one JSON object comparing the reliable and
 /// fire-and-forget arms of the same scenario. Parseable by JsonValue::parse.
 [[nodiscard]] std::string churn_soak_json(const ChurnSoakConfig& cfg,

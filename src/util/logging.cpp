@@ -4,7 +4,7 @@
 
 namespace telea {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarn};
 
 namespace {
 constexpr const char* level_name(LogLevel level) noexcept {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -11,20 +12,28 @@ enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff 
 
 /// Minimal leveled logger for simulator diagnostics. Global level defaults to
 /// kWarn so experiment binaries stay quiet; tests and debugging sessions can
-/// lower it. Not thread-safe by design: the simulator is single-threaded.
+/// lower it. Each simulation is single-threaded, but the trial runner
+/// (src/harness/runner) executes independent simulations on worker threads —
+/// the level is the one mutable global they all read, so it is atomic
+/// (relaxed: it gates diagnostics, never results), and write() emits each
+/// line with a single stdio call, which locks the stream.
 class Logger {
  public:
-  static LogLevel level() noexcept { return level_; }
-  static void set_level(LogLevel level) noexcept { level_ = level; }
+  static LogLevel level() noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
-  static bool enabled(LogLevel level) noexcept { return level >= level_; }
+  static bool enabled(LogLevel level) noexcept { return level >= Logger::level(); }
 
   /// Emits one line: "[LEVEL] tag: message\n" to stderr.
   static void write(LogLevel level, std::string_view tag,
                     std::string_view message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 namespace detail {

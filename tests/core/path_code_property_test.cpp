@@ -1,0 +1,180 @@
+// Property/fuzz coverage for the path-code arithmetic under the trees the
+// protocol can actually build: thousands of seeded random allocation trees
+// (depth <= 8, fanout <= 16, randomized headroom policy), each checked for
+//   - encode -> decode round-trip (extract_bits recovers every position),
+//   - the parent/child prefix property (a child's code extends its parent's),
+//   - the addr.code_bounds invariant (src/check): capacity, sink-rooted
+//     first bit, positions inside [first_position, 2^space_bits).
+// The generator mirrors Algorithms 1-2 (space_bits_for + make_child_code)
+// without a simulator, so the whole sweep stays well under the 5 s budget.
+#include "core/path_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace telea {
+namespace {
+
+struct TreeNode {
+  std::size_t parent = 0;       // index into the tree (root points at itself)
+  PathCode code;
+  std::uint32_t position = 0;   // position within the parent's space
+  std::uint8_t space_bits = 0;  // width of the field the position sits in
+  std::size_t depth = 0;
+};
+
+struct RandomTree {
+  std::vector<TreeNode> nodes;
+  HeadroomPolicy policy;
+  bool reserve_zero = false;
+};
+
+// Builds one random allocation tree the way a converged network would:
+// every interior node sizes its bit space with Algorithm 1 for the number
+// of children it ends up with, then hands out consecutive positions
+// starting at first_position.
+RandomTree make_random_tree(std::uint64_t seed) {
+  Pcg32 rng(seed, 0xC0DEull);
+  RandomTree tree;
+  tree.policy.min_slack = 1 + rng.uniform(3);
+  tree.policy.max_slack = tree.policy.min_slack + rng.uniform(12);
+  tree.policy.divisor = 1 + rng.uniform(4);
+  tree.reserve_zero = rng.uniform(2) == 0;
+
+  TreeNode root;
+  root.code = sink_code();
+  tree.nodes.push_back(root);
+
+  const std::size_t max_depth = 1 + rng.uniform(8);   // <= 8 levels of children
+  const std::size_t node_cap = 16 + rng.uniform(48);  // keeps 10k trees cheap
+
+  std::vector<std::size_t> frontier{0};
+  const std::uint32_t first = tree.reserve_zero ? 1u : 0u;
+  for (std::size_t depth = 1; depth <= max_depth && !frontier.empty();
+       ++depth) {
+    std::vector<std::size_t> next;
+    for (std::size_t parent_index : frontier) {
+      if (tree.nodes.size() >= node_cap) break;
+      const std::uint32_t fanout = rng.uniform(17);  // 0..16 children
+      if (fanout == 0) continue;
+      const std::uint8_t bits =
+          space_bits_for(fanout, tree.policy, tree.reserve_zero);
+      for (std::uint32_t c = 0; c < fanout && tree.nodes.size() < node_cap;
+           ++c) {
+        TreeNode child;
+        child.parent = parent_index;
+        child.position = first + c;
+        child.space_bits = bits;
+        child.depth = depth;
+        child.code = make_child_code(tree.nodes[parent_index].code,
+                                     child.position, bits);
+        if (child.code.empty()) continue;  // capacity overflow: skip subtree
+        tree.nodes.push_back(child);
+        next.push_back(tree.nodes.size() - 1);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+TEST(PathCodeProperty, RandomTreesRoundTripAndStayInBounds) {
+  constexpr std::uint64_t kTrees = 10'000;
+  std::size_t nodes_checked = 0;
+  for (std::uint64_t t = 0; t < kTrees; ++t) {
+    const RandomTree tree = make_random_tree(t);
+    const std::uint32_t first = tree.reserve_zero ? 1u : 0u;
+    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+      const TreeNode& n = tree.nodes[i];
+      const TreeNode& p = tree.nodes[n.parent];
+
+      // addr.code_bounds: capacity, sink-rooted, position inside the space.
+      ASSERT_LE(n.code.size(), BitString::kCapacity) << "tree " << t;
+      ASSERT_FALSE(n.code.bit(0)) << "tree " << t << " node " << i;
+      ASSERT_GE(n.position, first);
+      ASSERT_LT(n.position, 1ULL << n.space_bits);
+      // Algorithm 1 must have provided room for this child's position.
+      ASSERT_GE((1ULL << n.space_bits) - (tree.reserve_zero ? 1u : 0u),
+                static_cast<std::uint64_t>(n.position - first) + 1);
+
+      // Prefix property: the child's code is the parent's code extended by
+      // exactly its allocated field.
+      ASSERT_TRUE(p.code.is_prefix_of(n.code)) << "tree " << t;
+      ASSERT_EQ(n.code.size(), p.code.size() + n.space_bits);
+      ASSERT_EQ(n.code.common_prefix_len(p.code), p.code.size());
+
+      // Encode -> decode round-trip on the last field...
+      ASSERT_EQ(n.code.extract_bits(p.code.size(), n.space_bits), n.position);
+      ++nodes_checked;
+    }
+    // ...and a full decode walk from the sink: replaying every (space_bits,
+    // position) pair down the path must reconstruct the stored code exactly.
+    for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+      std::vector<std::size_t> path;
+      for (std::size_t j = i; j != 0; j = tree.nodes[j].parent) {
+        path.push_back(j);
+      }
+      PathCode walk = sink_code();
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const TreeNode& step = tree.nodes[*it];
+        walk = make_child_code(walk, step.position, step.space_bits);
+        ASSERT_FALSE(walk.empty());
+      }
+      ASSERT_EQ(walk, tree.nodes[i].code) << "tree " << t << " node " << i;
+    }
+  }
+  // The sweep must actually exercise trees, not degenerate to empty ones.
+  EXPECT_GT(nodes_checked, 100'000u);
+}
+
+TEST(PathCodeProperty, DivergenceMatchesSharedPrefixOnRandomPairs) {
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    const RandomTree tree = make_random_tree(0x5EED'0000 + t);
+    if (tree.nodes.size() < 3) continue;
+    Pcg32 rng(t, 0xD1Full);
+    for (int k = 0; k < 16; ++k) {
+      const auto& a =
+          tree.nodes[rng.uniform(static_cast<std::uint32_t>(
+              tree.nodes.size()))].code;
+      const auto& b =
+          tree.nodes[rng.uniform(static_cast<std::uint32_t>(
+              tree.nodes.size()))].code;
+      const std::size_t shared = a.common_prefix_len(b);
+      EXPECT_EQ(code_divergence(a, b), a.size() + b.size() - 2 * shared);
+    }
+  }
+}
+
+TEST(PathCodeProperty, CapacityOverflowYieldsEmptyNotTruncated) {
+  // Chain 32-bit fields until the 256-bit capacity is hit: make_child_code
+  // must return empty (the protocol's "cannot address" signal), never a
+  // silently truncated code.
+  PathCode code = sink_code();
+  unsigned extended = 0;
+  while (true) {
+    const PathCode next = make_child_code(code, 1, 32);
+    if (next.empty()) break;
+    ASSERT_EQ(next.size(), code.size() + 32);
+    code = next;
+    ++extended;
+    ASSERT_LT(extended, 64u) << "capacity limit never enforced";
+  }
+  ASSERT_GT(extended, 0u);
+  ASSERT_GT(code.size() + 32, BitString::kCapacity);
+}
+
+TEST(PathCodeProperty, RejectsPositionsOutsideTheSpace) {
+  const PathCode parent = sink_code();
+  EXPECT_TRUE(make_child_code(parent, 1u << 4, 4).empty());
+  EXPECT_TRUE(make_child_code(parent, 0, 0).empty());
+  EXPECT_TRUE(make_child_code(parent, 0, 33).empty());
+  EXPECT_FALSE(make_child_code(parent, (1u << 4) - 1, 4).empty());
+}
+
+}  // namespace
+}  // namespace telea

@@ -24,11 +24,11 @@ TEST(ChurnSoak, RetriesDeliverAtLeast95PercentAndBeatFireAndForget) {
   cfg.outage_downtime = 4 * kMinute;
   cfg.blackout_duration = 6 * kMinute;
 
-  const ChurnSoakResult with_retries = run_churn_soak(cfg);
-
-  ChurnSoakConfig fire_and_forget = cfg;
-  fire_and_forget.reliable = false;
-  const ChurnSoakResult without = run_churn_soak(fire_and_forget);
+  // Both arms via the trial runner (the path the churn bench ships): same
+  // seed and fault schedule, run concurrently on two workers.
+  const ChurnSoakPair pair = run_churn_soak_pair(cfg, 2);
+  const ChurnSoakResult& with_retries = pair.with_retries;
+  const ChurnSoakResult& without = pair.without;
 
   // The scenario must actually be hostile: >= 10 mixed faults (node
   // outages, parent-link blackouts, a noise burst, a state-loss reboot)
